@@ -1,0 +1,133 @@
+// E10 — addressing complexity (Sections 3.2 and 6):
+//
+//   COLOR:      O(H) per node lazily; O(1) with the full O(2^H) table
+//               (the paper's PRE-BASIC-COLOR / PRE-COLOR route);
+//   LABEL-TREE: O(log M) recursively; O(1) with the O(M) micro table.
+//
+// google-benchmark section: ns/lookup as H grows (COLOR's lazy retrieval
+// must scale linearly with H; every other mode must stay flat) and as M
+// grows for LABEL-TREE. A summary table prints the measured scaling so
+// the shape is visible without parsing benchmark output.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "pmtree/mapping/color.hpp"
+#include "pmtree/mapping/label_tree.hpp"
+#include "pmtree/util/bits.hpp"
+#include "pmtree/util/rng.hpp"
+
+namespace {
+
+using namespace pmtree;
+
+double mean_ns(const TreeMapping& map, std::size_t probes_count = 100000) {
+  Rng rng(7);
+  std::vector<Node> probes;
+  probes.reserve(probes_count);
+  for (std::size_t i = 0; i < probes_count; ++i) {
+    probes.push_back(node_at(rng.below(map.tree().size())));
+  }
+  std::uint64_t sink = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const Node& n : probes) sink += map.color_of(n);
+  const auto t1 = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(sink);
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+         static_cast<double>(probes.size());
+}
+
+std::string ns_cell(double ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", ns);
+  return buf;
+}
+
+void print_height_table() {
+  TableWriter table({"H", "COLOR lazy ns", "COLOR blocktable ns",
+                     "COLOR full-table ns", "LABEL-TREE ns",
+                     "LT recursive ns"});
+  for (const std::uint32_t H : {12u, 16u, 20u, 24u}) {
+    const CompleteBinaryTree tree(H);
+    const ColorMapping lazy(tree, 6, 3);
+    const ColorMapping block(tree, 6, 3, internal::GammaVariant::kCorrect,
+                             ColorMapping::Retrieval::kBlockTable);
+    const LabelTreeMapping lt(tree, 15);
+    const LabelTreeMapping ltr(tree, 15, LabelTreeMapping::Retrieval::kRecursive);
+    // The full table is only materializable for moderate H.
+    double table_ns = -1.0;
+    if (H <= 22) {
+      const EagerColorMapping eager(lazy);
+      table_ns = mean_ns(eager);
+    }
+    table.row(H, ns_cell(mean_ns(lazy)), ns_cell(mean_ns(block)),
+              table_ns < 0 ? std::string("(table too large)") : ns_cell(table_ns),
+              ns_cell(mean_ns(lt)), ns_cell(mean_ns(ltr)));
+  }
+  bench::print_experiment(
+      "E10a (addressing vs tree height)",
+      "COLOR's retrieval: O(H) lazy, O(H/(N-k)) with the PRE-BASIC-COLOR "
+      "block table, O(1) with the full table; LABEL-TREE stays flat",
+      table);
+}
+
+void print_modules_table() {
+  TableWriter table({"M", "LABEL-TREE table ns", "LT recursive ns",
+                     "micro-table entries"});
+  const CompleteBinaryTree tree(22);
+  for (const std::uint32_t M : {15u, 63u, 255u, 1023u}) {
+    const LabelTreeMapping lt(tree, M);
+    const LabelTreeMapping ltr(tree, M, LabelTreeMapping::Retrieval::kRecursive);
+    table.row(M, mean_ns(lt), mean_ns(ltr), tree_size(ceil_log2(M)));
+  }
+  bench::print_experiment(
+      "E10b (addressing vs module count)",
+      "LABEL-TREE: O(1) with the O(M) table, O(log M) without", table);
+}
+
+void BM_ColorLazyByHeight(benchmark::State& state) {
+  const auto H = static_cast<std::uint32_t>(state.range(0));
+  const CompleteBinaryTree tree(H);
+  const ColorMapping map(tree, 6, 3);
+  Rng rng(3);
+  std::uint64_t sink = 0;
+  for (auto _ : state) sink += map.color_of(node_at(rng.below(tree.size())));
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_ColorLazyByHeight)->Arg(12)->Arg(18)->Arg(24)->Arg(30);
+
+void BM_ColorTableByHeight(benchmark::State& state) {
+  const auto H = static_cast<std::uint32_t>(state.range(0));
+  const CompleteBinaryTree tree(H);
+  const EagerColorMapping map{ColorMapping(tree, 6, 3)};
+  Rng rng(3);
+  std::uint64_t sink = 0;
+  for (auto _ : state) sink += map.color_of(node_at(rng.below(tree.size())));
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_ColorTableByHeight)->Arg(12)->Arg(18)->Arg(22);
+
+void BM_LabelTreeByModules(benchmark::State& state) {
+  const CompleteBinaryTree tree(24);
+  const LabelTreeMapping map(tree, static_cast<std::uint32_t>(state.range(0)),
+                             LabelTreeMapping::Retrieval::kRecursive);
+  Rng rng(3);
+  std::uint64_t sink = 0;
+  for (auto _ : state) sink += map.color_of(node_at(rng.below(tree.size())));
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_LabelTreeByModules)->Arg(15)->Arg(255)->Arg(4095);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_height_table();
+  print_modules_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// E12 — ablations of the two design choices DESIGN.md §3 calls out.
+//
+// (a) COLOR's Gamma list (the paper's ambiguous "path from the root of
+//     B(i', j-1) to the root of B(i, j)"): the kCorrect reading
+//     (parent root .. parent of the block root) against the two plausible
+//     misreadings. Only kCorrect is conflict-free — this is the measured
+//     justification for DESIGN.md's resolution, and shows the exhaustive
+//     suite has the power to catch the mutants.
+//
+// (b) LABEL-TREE's sub-block parameter l: the paper picks
+//     l = floor(log2(ceil(sqrt(M log M)))), which balances the window
+//     length ell = 2^l + 2^{m-l} - 1. Sweeping l shows the conflict curve
+//     is minimized near the paper's choice (the window length is the
+//     budget of distinct colors a block can use; both extremes waste it).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "pmtree/analysis/cost.hpp"
+#include "pmtree/analysis/load_balance.hpp"
+#include "pmtree/mapping/color.hpp"
+#include "pmtree/mapping/label_tree.hpp"
+#include "pmtree/util/bits.hpp"
+
+namespace {
+
+using namespace pmtree;
+
+void print_gamma_ablation() {
+  TableWriter table({"gamma reading", "H", "N", "K", "S(K) conflicts",
+                     "P(N) conflicts", "conflict-free"});
+  const struct {
+    internal::GammaVariant variant;
+    const char* label;
+  } variants[] = {
+      {internal::GammaVariant::kCorrect, "parent root .. block-root parent"},
+      {internal::GammaVariant::kIncludeChildRoot, "parent's child .. block root"},
+      {internal::GammaVariant::kReversed, "same nodes, bottom-up"},
+  };
+  const struct {
+    std::uint32_t H, N, k;
+  } configs[] = {{10, 4, 2}, {12, 6, 3}};
+  for (const auto& var : variants) {
+    for (const auto& cfg : configs) {
+      const ColorMapping map(CompleteBinaryTree(cfg.H), cfg.N, cfg.k,
+                             var.variant);
+      const auto s = evaluate_subtrees(map, tree_size(cfg.k)).max_conflicts;
+      const auto p = evaluate_paths(map, cfg.N).max_conflicts;
+      table.row(var.label, cfg.H, cfg.N, tree_size(cfg.k), s, p,
+                s == 0 && p == 0);
+    }
+  }
+  bench::print_experiment(
+      "E12a (Gamma-list ablation)",
+      "only the parent-root..block-root-parent reading of Gamma is "
+      "conflict-free (DESIGN.md §3 item 4)",
+      table);
+}
+
+void print_l_ablation() {
+  const std::uint32_t M = 63;  // m = 6, paper's l = 4
+  const CompleteBinaryTree tree(15);
+  TableWriter table({"l", "ell", "S(M)", "P(M sized 15)", "L(M)",
+                     "load ratio", "paper's choice"});
+  const LabelTreeMapping reference(tree, M);
+  for (std::uint32_t l = 1; l <= reference.m() - 1; ++l) {
+    const LabelTreeMapping map(tree, M, LabelTreeMapping::Retrieval::kTable, l);
+    const auto s = evaluate_subtrees(map, M).max_conflicts;
+    const auto p = evaluate_paths(map, 15).max_conflicts;
+    const auto lr = evaluate_level_runs(map, M).max_conflicts;
+    table.row(l, map.ell(), s, p, lr, load_balance(map).ratio(),
+              l == reference.l() ? "<== paper" : "");
+  }
+  bench::print_experiment(
+      "E12b (LABEL-TREE l ablation)",
+      "the paper's l = floor(log2(ceil(sqrt(M log M)))) sits at/near the "
+      "conflict minimum; extremes degrade",
+      table);
+}
+
+void BM_GammaVariantColoring(benchmark::State& state) {
+  const auto variant =
+      static_cast<internal::GammaVariant>(state.range(0));
+  const CompleteBinaryTree tree(16);
+  const ColorMapping map(tree, 6, 3, variant);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.materialize().size());
+  }
+}
+BENCHMARK(BM_GammaVariantColoring)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_gamma_ablation();
+  print_l_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

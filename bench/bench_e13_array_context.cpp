@@ -1,0 +1,101 @@
+// E13 — the Section 1.2 context: conflict-free access to two-dimensional
+// arrays (rows / columns / diagonals / subarrays; refs [4], [17]).
+//
+// The paper positions its tree results against the classical array
+// results. This bench regenerates the array side: the Latin-square
+// skewing scheme color(r, c) = (a*r + c) mod M serves all four run
+// directions conflict-free when M is prime and a, a-1, a+1 are nonzero
+// mod M, and any p x q subarray with p*q <= M when a = q — against the
+// naive row-major layout that collapses columns whenever gcd(cols, M)>1.
+//
+// The closed-form bound M / gcd(step, M) is printed next to the measured
+// longest conflict-free run so the arithmetic is visible.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "pmtree/array/array_mapping.hpp"
+
+namespace {
+
+using namespace pmtree;
+
+/// Longest K with zero measured conflicts along a direction (<= cap).
+std::uint64_t longest_cf_run(const ArrayMapping& map, RunDirection d,
+                             std::uint64_t cap) {
+  std::uint64_t best = 0;
+  for (std::uint64_t K = 1; K <= cap; ++K) {
+    if (evaluate_runs(map, d, K) != 0) break;
+    best = K;
+  }
+  return best;
+}
+
+void print_run_table() {
+  const Array2D array(32, 32);
+  TableWriter table({"mapping", "direction", "predicted CF bound",
+                     "measured longest CF run", "match"});
+  const SkewedArrayMapping skew7(array, 7, 3);
+  const SkewedArrayMapping skew8(array, 8, 2);   // even M: diagonals suffer
+  const RowMajorArrayMapping naive(array, 8);    // gcd(cols=32, 8) = 8
+
+  for (const auto d :
+       {RunDirection::kRow, RunDirection::kColumn, RunDirection::kDiagonal,
+        RunDirection::kAntiDiagonal}) {
+    for (const SkewedArrayMapping* map : {&skew7, &skew8}) {
+      const std::uint64_t predicted = map->conflict_free_run_bound(d);
+      const std::uint64_t measured = longest_cf_run(*map, d, 16);
+      table.row(map->name(), to_string(d), predicted, measured,
+                bench::pass_cell(measured == std::min<std::uint64_t>(predicted, 16)));
+    }
+    const std::uint64_t measured = longest_cf_run(naive, d, 16);
+    table.row(naive.name(), to_string(d), "-", measured, "");
+  }
+  bench::print_experiment(
+      "E13a (Section 1.2 context: array runs)",
+      "Latin-square skewing serves rows/columns/diagonals conflict-free up "
+      "to the gcd bound; row-major collapses columns",
+      table);
+}
+
+void print_subarray_table() {
+  const Array2D array(32, 32);
+  TableWriter table({"mapping", "p x q", "p*q", "M", "conflicts", "CF"});
+  for (const std::uint32_t q : {2u, 4u}) {
+    const std::uint32_t M = 12;
+    const SkewedArrayMapping skew(array, M, q);
+    const RowMajorArrayMapping naive(array, M);
+    for (const std::uint64_t p : {2u, 3u, 4u, 6u}) {
+      const auto sc = evaluate_subarrays(skew, p, q);
+      table.row(skew.name(), std::to_string(p) + "x" + std::to_string(q),
+                p * q, M, sc, p * q <= M ? bench::pass_cell(sc == 0) : "n/a");
+      const auto nc = evaluate_subarrays(naive, p, q);
+      table.row(naive.name(), std::to_string(p) + "x" + std::to_string(q),
+                p * q, M, nc, "");
+    }
+  }
+  bench::print_experiment(
+      "E13b (Section 1.2 context: subarrays)",
+      "skew a = q is conflict-free on p x q subarrays while p*q <= M",
+      table);
+}
+
+void BM_ArrayRunEvaluation(benchmark::State& state) {
+  const Array2D array(static_cast<std::uint64_t>(state.range(0)),
+                      static_cast<std::uint64_t>(state.range(0)));
+  const SkewedArrayMapping map(array, 7, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluate_runs(map, RunDirection::kDiagonal, 7));
+  }
+}
+BENCHMARK(BM_ArrayRunEvaluation)->Arg(32)->Arg(128)->Arg(512);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_run_table();
+  print_subarray_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

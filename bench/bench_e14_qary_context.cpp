@@ -1,0 +1,75 @@
+// E14 — the generalized q-ary model (Section 1.2 context: Das-Pinotti map
+// "t-ary subtrees of a complete k-ary tree" conflict-free; refs [6], [7],
+// [9]).
+//
+// pmtree's generic q-ary mappings bracket the specialized constructions:
+// QARY-LEVEL-MOD is CF on paths with the minimal M modules for any arity;
+// QARY-BRICK is CF on aligned t-level subtrees with the minimal
+// (q^t - 1)/(q - 1) modules; the baselines show what unstructured layouts
+// cost. The table quantifies the versatility gap the specialized schemes
+// of the references close (and which, for q = 2, COLOR closes optimally).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "pmtree/qary/qary_mapping.hpp"
+
+namespace {
+
+using namespace pmtree;
+
+void print_table() {
+  TableWriter table({"q", "levels", "mapping", "modules", "P(M) cf",
+                     "aligned S(t) cf", "any S(t)", "L(M)"});
+  const struct {
+    std::uint32_t q, levels;
+  } shapes[] = {{2, 8}, {3, 6}, {4, 5}, {5, 4}};
+  for (const auto& shape : shapes) {
+    const QaryTree tree(shape.q, shape.levels);
+    const std::uint32_t t = 2;
+    const std::uint32_t M_path = shape.levels;
+
+    const QaryLevelModMapping level_mod(tree, M_path);
+    const QarySubtreeMapping brick(tree, t);
+    const QaryModuloMapping modulo(tree, M_path);
+    const QaryRandomMapping random(tree, M_path, 11);
+
+    for (const QaryMapping* map :
+         {static_cast<const QaryMapping*>(&level_mod),
+          static_cast<const QaryMapping*>(&brick),
+          static_cast<const QaryMapping*>(&modulo),
+          static_cast<const QaryMapping*>(&random)}) {
+      const std::uint64_t p = evaluate_qary_paths(*map, M_path);
+      const std::uint64_t sa = evaluate_qary_aligned_subtrees(*map, t, t);
+      const std::uint64_t s = evaluate_qary_subtrees(*map, t);
+      const std::uint64_t l = evaluate_qary_level_runs(*map, M_path);
+      // "yes"/"no" rather than PASS/FAIL: a specialist failing the other
+      // families is the expected story, not a regression.
+      table.row(shape.q, shape.levels, map->name(), map->num_modules(),
+                p == 0, sa == 0, s, l);
+    }
+  }
+  bench::print_experiment(
+      "E14 (Section 1.2 context: q-ary trees)",
+      "generic q-ary mappings: each specialist is CF on its own family "
+      "and pays on the others — the versatility gap refs [6,7,9] close",
+      table);
+}
+
+void BM_QaryEvaluation(benchmark::State& state) {
+  const QaryTree tree(static_cast<std::uint32_t>(state.range(0)), 6);
+  const QarySubtreeMapping map(tree, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluate_qary_subtrees(map, 2));
+  }
+}
+BENCHMARK(BM_QaryEvaluation)->Arg(2)->Arg(3)->Arg(4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

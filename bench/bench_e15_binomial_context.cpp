@@ -1,0 +1,62 @@
+// E15 — the Section 1.2 binomial-tree context (refs [7], [9]: "subtrees
+// of a binomial tree").
+//
+// The classic binomial-heap labeling makes both specialists exact:
+// label-mod-2^k is conflict-free on every subtree of order <= k with the
+// minimal 2^k modules; popcount-mod-M is conflict-free on root-path
+// segments of <= M nodes. The table shows each specialist's exhaustive
+// worst case on both families — the same versatility trade-off the paper
+// resolves for complete binary trees.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "pmtree/binomial/binomial_tree.hpp"
+
+namespace {
+
+using namespace pmtree;
+
+void print_table() {
+  const BinomialTree tree(10);  // 1024 nodes
+  TableWriter table({"mapping", "modules", "S(B_4)", "S(B_5)", "paths of 8",
+                     "paths of 11"});
+  const BinomialSubtreeMapping sub(tree, 4);
+  const BinomialSubtreeMapping sub5(tree, 5);
+  const BinomialPathMapping path(tree, 8);
+  const BinomialPathMapping path16(tree, 16);
+  for (const BinomialMapping* map :
+       {static_cast<const BinomialMapping*>(&sub),
+        static_cast<const BinomialMapping*>(&sub5),
+        static_cast<const BinomialMapping*>(&path),
+        static_cast<const BinomialMapping*>(&path16)}) {
+    table.row(map->name(), map->num_modules(),
+              evaluate_binomial_subtrees(*map, 4),
+              evaluate_binomial_subtrees(*map, 5),
+              evaluate_binomial_paths(*map, 8),
+              evaluate_binomial_paths(*map, 11));
+  }
+  bench::print_experiment(
+      "E15 (Section 1.2 context: binomial trees)",
+      "label-mod-2^k: CF subtrees up to order k; popcount-mod-M: CF paths "
+      "up to M — each specialist pays on the other family",
+      table);
+}
+
+void BM_BinomialEvaluation(benchmark::State& state) {
+  const BinomialTree tree(static_cast<std::uint32_t>(state.range(0)));
+  const BinomialSubtreeMapping map(tree, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluate_binomial_subtrees(map, 4));
+  }
+}
+BENCHMARK(BM_BinomialEvaluation)->Arg(10)->Arg(14)->Arg(18);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// E1 — Theorems 1 & 3: COLOR(T, N, K) is conflict-free on S(K) and P(N)
+// using N + K - k memory modules.
+//
+// Regenerates the theorem as a table: for a sweep of (H, N, k) the
+// exhaustively measured maximum number of conflicts on both families
+// (expected: 0), next to the number of modules used and the baselines'
+// conflicts with the same module budget.
+//
+// The google-benchmark timings measure the cost of the exhaustive family
+// evaluation itself (the verification workload).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "pmtree/analysis/bounds.hpp"
+#include "pmtree/analysis/cost.hpp"
+#include "pmtree/mapping/baselines.hpp"
+#include "pmtree/mapping/color.hpp"
+#include "pmtree/templates/enumerate.hpp"
+#include "pmtree/util/bits.hpp"
+
+namespace {
+
+using namespace pmtree;
+
+void print_table() {
+  TableWriter table({"H", "N", "K", "modules", "COLOR S(K)", "COLOR P(N)",
+                     "MODULO S(K)", "MODULO P(N)", "RANDOM S(K)",
+                     "RANDOM P(N)", "CF verdict"});
+  const struct {
+    std::uint32_t H, N, k;
+  } configs[] = {
+      {8, 4, 1},  {10, 4, 2}, {12, 5, 2}, {12, 5, 3},
+      {14, 6, 3}, {14, 7, 3}, {15, 8, 4}, {16, 9, 4},
+  };
+  for (const auto& cfg : configs) {
+    const CompleteBinaryTree tree(cfg.H);
+    const std::uint64_t K = tree_size(cfg.k);
+    const ColorMapping color(tree, cfg.N, cfg.k);
+    const ModuloMapping naive(tree, color.num_modules());
+    const RandomMapping random(tree, color.num_modules(), 11);
+
+    const auto cs = evaluate_subtrees(color, K).max_conflicts;
+    const auto cp = evaluate_paths(color, cfg.N).max_conflicts;
+    const auto ms = evaluate_subtrees(naive, K).max_conflicts;
+    const auto mp = evaluate_paths(naive, cfg.N).max_conflicts;
+    const auto rs = evaluate_subtrees(random, K).max_conflicts;
+    const auto rp = evaluate_paths(random, cfg.N).max_conflicts;
+
+    table.row(cfg.H, cfg.N, K, color.num_modules(), cs, cp, ms, mp, rs, rp,
+              bench::pass_cell(cs == 0 && cp == 0));
+  }
+  bench::print_experiment(
+      "E1 (Theorems 1 & 3)",
+      "COLOR is conflict-free on S(K) and P(N) with N + K - k modules",
+      table);
+}
+
+void BM_ExhaustiveVerification(benchmark::State& state) {
+  const auto H = static_cast<std::uint32_t>(state.range(0));
+  const CompleteBinaryTree tree(H);
+  const ColorMapping color(tree, 6, 3);
+  for (auto _ : state) {
+    auto s = evaluate_subtrees(color, 7);
+    auto p = evaluate_paths(color, 6);
+    benchmark::DoNotOptimize(s.max_conflicts + p.max_conflicts);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(count_subtrees(tree, 7) + count_paths(tree, 6)));
+}
+BENCHMARK(BM_ExhaustiveVerification)->Arg(10)->Arg(12)->Arg(14);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

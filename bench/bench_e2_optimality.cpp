@@ -1,0 +1,169 @@
+// E2 — Theorem 2: N + K - k memory modules are *necessary* for
+// conflict-free access to S(K) and P(N); hence BASIC-COLOR/COLOR are
+// CF-optimal and CF access to S(M), P(M) needs 2M - ceil(log M) modules
+// (the open question of [2] the paper settles).
+//
+// Regenerated as three tables:
+//   (a) the lower-bound witness: every TP(K, N-k) instance has exactly
+//       N + K - k nodes and COLOR colors it rainbow — so no mapping that
+//       is CF on S(K) and P(N) (and therefore rainbow on TP, by the
+//       Theorem 2 argument) can use fewer colors;
+//   (b) brute-force confirmation on tiny trees: exhaustive search over ALL
+//       colorings with one color fewer finds no CF mapping;
+//   (c) the 2M - log M corollary table.
+//
+// The google-benchmark timing measures the witness verification.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "pmtree/analysis/bounds.hpp"
+#include "pmtree/analysis/verify.hpp"
+#include "pmtree/mapping/color.hpp"
+#include "pmtree/templates/enumerate.hpp"
+#include "pmtree/util/bits.hpp"
+
+namespace {
+
+using namespace pmtree;
+
+void print_witness_table() {
+  TableWriter table({"N", "k", "K", "N+K-k", "TP(K,N-k) size", "rainbow",
+                     "verdict"});
+  const struct {
+    std::uint32_t N, k;
+  } configs[] = {{3, 1}, {4, 2}, {5, 2}, {5, 3}, {6, 3}, {8, 3}, {9, 4}};
+  for (const auto& cfg : configs) {
+    const CompleteBinaryTree tree(cfg.N + 2);
+    const ColorMapping map(tree, cfg.N, cfg.k);
+    const auto verdict = verify_optimality_witness(map, cfg.N, cfg.k);
+    table.row(cfg.N, cfg.k, tree_size(cfg.k), bounds::cf_modules(cfg.N, cfg.k),
+              verdict.bound, verdict.ok, bench::pass_cell(verdict.ok));
+  }
+  bench::print_experiment(
+      "E2a (Theorem 2, witness)",
+      "every TP(K, N-k) instance has N + K - k nodes and is rainbow under "
+      "COLOR",
+      table);
+}
+
+/// Exhaustively searches all M'-colorings of a tiny tree for one that is
+/// CF on S(K) and P(N). Returns true if one exists. Exponential: only for
+/// trees of <= ~12 nodes.
+bool cf_coloring_exists(const CompleteBinaryTree& tree, std::uint64_t K,
+                        std::uint32_t N, std::uint32_t colors) {
+  const std::uint64_t n = tree.size();
+  std::vector<std::uint32_t> assignment(n, 0);
+
+  // Collect all template instances as BFS-id lists once.
+  std::vector<std::vector<std::uint64_t>> constraints;
+  for_each_subtree(tree, K, [&](const SubtreeInstance& s) {
+    std::vector<std::uint64_t> ids;
+    for (const Node& nd : s.nodes()) ids.push_back(bfs_id(nd));
+    constraints.push_back(std::move(ids));
+    return true;
+  });
+  for_each_path(tree, N, [&](const PathInstance& p) {
+    std::vector<std::uint64_t> ids;
+    for (const Node& nd : p.nodes()) ids.push_back(bfs_id(nd));
+    constraints.push_back(std::move(ids));
+    return true;
+  });
+
+  // Backtracking: nodes in BFS order; prune on any violated constraint
+  // among already-assigned nodes.
+  std::function<bool(std::uint64_t)> place = [&](std::uint64_t node) -> bool {
+    if (node == n) return true;
+    for (std::uint32_t c = 0; c < colors; ++c) {
+      assignment[node] = c;
+      bool ok = true;
+      for (const auto& constraint : constraints) {
+        // Check whether `node` conflicts with an earlier node of the
+        // constraint containing it.
+        bool contains = false;
+        for (const std::uint64_t id : constraint) {
+          if (id == node) contains = true;
+        }
+        if (!contains) continue;
+        for (const std::uint64_t id : constraint) {
+          if (id < node && assignment[id] == c) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) break;
+      }
+      if (ok && place(node + 1)) return true;
+    }
+    return false;
+  };
+  return place(0);
+}
+
+void print_bruteforce_table() {
+  TableWriter table({"tree levels", "N", "K", "colors", "CF exists",
+                     "expected", "verdict"});
+  const struct {
+    std::uint32_t levels, N, k;
+  } configs[] = {{3, 3, 1}, {3, 2, 2}, {3, 3, 2}, {4, 3, 2}};
+  for (const auto& cfg : configs) {
+    const CompleteBinaryTree tree(cfg.levels);
+    const std::uint64_t K = tree_size(cfg.k);
+    const std::uint32_t optimal = bounds::cf_modules(cfg.N, cfg.k);
+    const bool at = cf_coloring_exists(tree, K, cfg.N, optimal);
+    const bool below = cf_coloring_exists(tree, K, cfg.N, optimal - 1);
+    table.row(cfg.levels, cfg.N, K, optimal, at, "yes",
+              bench::pass_cell(at));
+    table.row(cfg.levels, cfg.N, K, optimal - 1, below, "no",
+              bench::pass_cell(!below));
+  }
+  bench::print_experiment(
+      "E2b (Theorem 2, brute force)",
+      "exhaustive search: a CF coloring exists with N + K - k colors and "
+      "with not one fewer",
+      table);
+}
+
+void print_corollary_table() {
+  // CF access to S(M) and P(M) is the N = M, K = M instantiation of
+  // Theorem 3: cf_modules(M, m) = M + M - m = 2M - ceil(log M).
+  TableWriter table({"M", "2M - ceil(log M)", "cf_modules(M, m)", "match"});
+  for (std::uint32_t m = 2; m <= 8; ++m) {
+    const auto M = static_cast<std::uint32_t>(tree_size(m));
+    table.row(M, bounds::cf_modules_full(M),
+              bounds::cf_modules(static_cast<std::uint32_t>(M), m),
+              bench::pass_cell(bounds::cf_modules_full(M) ==
+                               bounds::cf_modules(static_cast<std::uint32_t>(M), m)));
+  }
+  bench::print_experiment(
+      "E2c (Section 4 corollary)",
+      "CF access to S(M) and P(M) takes exactly 2M - ceil(log M) modules",
+      table);
+}
+
+void BM_WitnessVerification(benchmark::State& state) {
+  const auto N = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t k = 3;
+  const CompleteBinaryTree tree(N + 2);
+  const ColorMapping map(tree, N, k);
+  for (auto _ : state) {
+    auto verdict = verify_optimality_witness(map, N, k);
+    benchmark::DoNotOptimize(verdict.ok);
+  }
+}
+BENCHMARK(BM_WitnessVerification)->Arg(6)->Arg(8)->Arg(10);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_witness_table();
+  print_bruteforce_table();
+  print_corollary_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// E3 — Theorems 4 & 5: at full parallelism (templates of size M = number
+// of modules), COLOR(T, 2^{m-1}+m-1, 2^{m-1}-1) costs at most 1 conflict
+// on S(M) and P(M) — and exactly 1, since no mapping is M-CF on both
+// (Theorem 5: COLOR is M-optimal).
+//
+// The table sweeps M = 2^m - 1 and reports the exhaustively measured worst
+// case next to LABEL-TREE (Theorem 7's O(sqrt(M/log M)) conflicts) and the
+// naive baselines with the same module budget.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "pmtree/analysis/bounds.hpp"
+#include "pmtree/analysis/cost.hpp"
+#include "pmtree/mapping/baselines.hpp"
+#include "pmtree/mapping/color.hpp"
+#include "pmtree/mapping/label_tree.hpp"
+#include "pmtree/util/bits.hpp"
+#include "pmtree/util/rng.hpp"
+
+namespace {
+
+using namespace pmtree;
+
+/// Worst conflicts over S(M) and P(M); exhaustive when the tree is small,
+/// sampled otherwise.
+std::uint64_t worst_elementary(const TreeMapping& map, std::uint64_t M,
+                               bool exhaustive) {
+  if (exhaustive) {
+    return std::max(evaluate_subtrees(map, M).max_conflicts,
+                    evaluate_paths(map, M).max_conflicts);
+  }
+  Rng rng(404);
+  return std::max(sample_subtrees(map, M, 20000, rng).max_conflicts,
+                  sample_paths(map, M, 20000, rng).max_conflicts);
+}
+
+void print_table() {
+  TableWriter table({"M", "tree levels", "mode", "COLOR", "bound",
+                     "LABEL-TREE", "MODULO", "RANDOM", "verdict"});
+  for (std::uint32_t m = 2; m <= 5; ++m) {
+    const auto M = static_cast<std::uint32_t>(tree_size(m));
+    // P(M) needs >= M levels; keep trees exhaustive up to ~2^20 nodes.
+    const std::uint32_t levels = std::min<std::uint32_t>(M + 3, 20);
+    if (levels < M) continue;  // cannot host P(M)
+    const bool exhaustive = levels <= 18;
+    const CompleteBinaryTree tree(levels);
+
+    const ColorMapping color = make_optimal_color_mapping(tree, M);
+    const LabelTreeMapping label(tree, M);
+    const ModuloMapping naive(tree, M);
+    const RandomMapping random(tree, M, 7);
+
+    const std::uint64_t c = worst_elementary(color, M, exhaustive);
+    table.row(M, levels, exhaustive ? "exhaustive" : "sampled", c,
+              bounds::kOptimalFullParallelismCost,
+              worst_elementary(label, M, exhaustive),
+              worst_elementary(naive, M, exhaustive),
+              worst_elementary(random, M, exhaustive),
+              bench::pass_cell(c <= bounds::kOptimalFullParallelismCost));
+  }
+  bench::print_experiment(
+      "E3 (Theorems 4 & 5)",
+      "with M = 2^m - 1 modules COLOR costs exactly 1 conflict on S(M) and "
+      "P(M); no mapping does better",
+      table);
+}
+
+void BM_FullParallelismSweep(benchmark::State& state) {
+  const auto m = static_cast<std::uint32_t>(state.range(0));
+  const auto M = static_cast<std::uint32_t>(tree_size(m));
+  const CompleteBinaryTree tree(std::min<std::uint32_t>(M + 3, 18));
+  const ColorMapping color = make_optimal_color_mapping(tree, M);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluate_subtrees(color, M).max_conflicts);
+  }
+}
+BENCHMARK(BM_FullParallelismSweep)->Arg(2)->Arg(3)->Arg(4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// E4 — Lemma 2: BASIC-COLOR has cost at most 1 on L(K) (runs of K
+// consecutive nodes of one level) within a height-N block; the full COLOR
+// on taller trees pays at most one extra conflict where a run straddles a
+// block-generation boundary (measured fact recorded in EXPERIMENTS.md).
+//
+// Two tables: (a) single-block trees, bound 1; (b) multi-block trees,
+// bound 2 — each swept over (N, k) with the measured exhaustive maximum
+// and the baselines' numbers alongside.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "pmtree/analysis/cost.hpp"
+#include "pmtree/mapping/baselines.hpp"
+#include "pmtree/mapping/color.hpp"
+#include "pmtree/util/bits.hpp"
+
+namespace {
+
+using namespace pmtree;
+
+void print_tables() {
+  {
+    TableWriter table({"N", "K", "modules", "COLOR L(K)", "bound",
+                       "MODULO L(K)", "RANDOM L(K)", "verdict"});
+    const struct {
+      std::uint32_t N, k;
+    } configs[] = {{4, 2}, {5, 2}, {6, 3}, {8, 3}, {9, 4}, {12, 4}};
+    for (const auto& cfg : configs) {
+      const CompleteBinaryTree tree(cfg.N);  // single block
+      const BasicColorMapping color(tree, cfg.N, cfg.k);
+      const ModuloMapping naive(tree, color.num_modules());
+      const RandomMapping random(tree, color.num_modules(), 3);
+      const std::uint64_t K = tree_size(cfg.k);
+      const auto measured = evaluate_level_runs(color, K).max_conflicts;
+      table.row(cfg.N, K, color.num_modules(), measured, 1,
+                evaluate_level_runs(naive, K).max_conflicts,
+                evaluate_level_runs(random, K).max_conflicts,
+                bench::pass_cell(measured <= 1));
+    }
+    bench::print_experiment("E4a (Lemma 2, single block)",
+                            "BASIC-COLOR costs at most 1 conflict on L(K)",
+                            table);
+  }
+  {
+    TableWriter table({"H", "N", "K", "COLOR L(K)", "bound", "verdict"});
+    const struct {
+      std::uint32_t H, N, k;
+    } configs[] = {{10, 4, 2}, {12, 5, 2}, {14, 6, 3}, {16, 6, 3},
+                   {15, 8, 4}, {18, 6, 3}};
+    for (const auto& cfg : configs) {
+      const ColorMapping color(CompleteBinaryTree(cfg.H), cfg.N, cfg.k);
+      const std::uint64_t K = tree_size(cfg.k);
+      const auto measured = evaluate_level_runs(color, K).max_conflicts;
+      table.row(cfg.H, cfg.N, K, measured, 2, bench::pass_cell(measured <= 2));
+    }
+    bench::print_experiment(
+        "E4b (Lemma 2, multi-block)",
+        "COLOR on taller trees: at most one extra L(K) conflict at "
+        "block-generation boundaries",
+        table);
+  }
+}
+
+void BM_LevelRunEvaluation(benchmark::State& state) {
+  const auto H = static_cast<std::uint32_t>(state.range(0));
+  const ColorMapping color(CompleteBinaryTree(H), 6, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluate_level_runs(color, 7).max_conflicts);
+  }
+}
+BENCHMARK(BM_LevelRunEvaluation)->Arg(12)->Arg(14)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

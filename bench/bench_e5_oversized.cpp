@@ -1,0 +1,98 @@
+// E5 — Lemmas 3, 4, 5: oversized elementary templates (size D >= M) under
+// COLOR(T, 2^{m-1}-1, 2^{m-1}+m-1):
+//
+//     Cost(P(D)) <= 2*ceil(D/M) - 1        (Lemma 3)
+//     Cost(L(D)) <= 4*ceil(D/M)            (Lemma 4)
+//     Cost(S(D)) <= 4*ceil(D/M) - 1        (Lemma 5, D = 2^d - 1)
+//
+// One table per lemma: measured exhaustive maximum vs. the bound and the
+// trivial lower bound ceil(D/M) - 1, swept over D/M. The curves regenerate
+// the linear-in-D/M shape the lemmas predict.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "pmtree/analysis/bounds.hpp"
+#include "pmtree/analysis/cost.hpp"
+#include "pmtree/mapping/color.hpp"
+#include "pmtree/util/bits.hpp"
+
+namespace {
+
+using namespace pmtree;
+
+constexpr std::uint32_t kM = 7;  // m = 3: N = 6, K = 3
+
+void print_path_table() {
+  const CompleteBinaryTree tree(20);
+  // Eager table: exhaustive evaluation over ~2^20 paths would otherwise
+  // pay COLOR's O(H) addressing on every node.
+  const EagerColorMapping color(make_optimal_color_mapping(tree, kM));
+  TableWriter table({"D", "D/M", "measured", "Lemma 3 bound", "lower bound",
+                     "verdict"});
+  for (std::uint64_t D = kM; D <= 20; D += 2) {
+    const auto measured = evaluate_paths(color, D).max_conflicts;
+    const auto bound = bounds::color_path_bound(D, kM);
+    table.row(D, static_cast<double>(D) / kM, measured, bound,
+              bounds::trivial_lower(D, kM),
+              bench::pass_cell(measured <= bound));
+  }
+  bench::print_experiment("E5a (Lemma 3)",
+                          "Cost(COLOR, P(D), M) <= 2*ceil(D/M) - 1", table);
+}
+
+void print_level_table() {
+  const CompleteBinaryTree tree(15);
+  const EagerColorMapping color(make_optimal_color_mapping(tree, kM));
+  TableWriter table({"D", "D/M", "measured", "Lemma 4 bound", "lower bound",
+                     "verdict"});
+  for (std::uint64_t D = kM; D <= 16 * kM; D *= 2) {
+    const auto measured = evaluate_level_runs(color, D).max_conflicts;
+    const auto bound = bounds::color_level_bound(D, kM);
+    table.row(D, static_cast<double>(D) / kM, measured, bound,
+              bounds::trivial_lower(D, kM),
+              bench::pass_cell(measured <= bound));
+  }
+  bench::print_experiment("E5b (Lemma 4)",
+                          "Cost(COLOR, L(D), M) <= 4*ceil(D/M)", table);
+}
+
+void print_subtree_table() {
+  const CompleteBinaryTree tree(15);
+  const EagerColorMapping color(make_optimal_color_mapping(tree, kM));
+  TableWriter table({"D", "D/M", "measured", "Lemma 5 bound", "lower bound",
+                     "verdict"});
+  for (std::uint32_t d = 3; d <= 10; ++d) {
+    const std::uint64_t D = tree_size(d);
+    const auto measured = evaluate_subtrees(color, D).max_conflicts;
+    const auto bound = bounds::color_subtree_bound(D, kM);
+    table.row(D, static_cast<double>(D) / kM, measured, bound,
+              bounds::trivial_lower(D, kM),
+              bench::pass_cell(measured <= bound));
+  }
+  bench::print_experiment("E5c (Lemma 5)",
+                          "Cost(COLOR, S(D), M) <= 4*ceil(D/M) - 1 for "
+                          "D = 2^d - 1",
+                          table);
+}
+
+void BM_OversizedSubtrees(benchmark::State& state) {
+  const auto d = static_cast<std::uint32_t>(state.range(0));
+  const CompleteBinaryTree tree(15);
+  const ColorMapping color = make_optimal_color_mapping(tree, kM);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluate_subtrees(color, tree_size(d)).max_conflicts);
+  }
+}
+BENCHMARK(BM_OversizedSubtrees)->Arg(5)->Arg(7)->Arg(9);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_path_table();
+  print_level_table();
+  print_subtree_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// E6 — Theorem 6: composite templates under COLOR:
+//
+//     Cost(COLOR, C(D, c), M) <= 4*D/M + c,
+//
+// which is M-optimal within a constant factor whenever c = O(D/M).
+//
+// The table sweeps D and c, sampling random C(D, c) instances (mixes of
+// disjoint subtrees, level runs and paths) and reports the sampled maximum
+// against the bound, plus the range-query workload of Section 1.1 as a
+// structured composite source.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "pmtree/analysis/bounds.hpp"
+#include "pmtree/analysis/cost.hpp"
+#include "pmtree/mapping/color.hpp"
+#include "pmtree/templates/range_cover.hpp"
+#include "pmtree/util/bits.hpp"
+#include "pmtree/util/rng.hpp"
+
+namespace {
+
+using namespace pmtree;
+
+constexpr std::uint32_t kM = 15;  // m = 4: N = 11, K = 7
+
+void print_random_table() {
+  const CompleteBinaryTree tree(20);
+  const EagerColorMapping color(make_optimal_color_mapping(tree, kM));
+  TableWriter table({"D", "c", "samples", "measured max", "measured mean",
+                     "Thm 6 bound", "lower bound", "verdict"});
+  Rng rng(607);
+  for (const std::uint64_t c : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    for (const std::uint64_t D : {64u, 256u, 1024u, 4096u}) {
+      if (D < c * 2) continue;
+      const auto cost = sample_composites(color, D, c, 200, rng);
+      if (cost.instances == 0) continue;
+      const auto bound = bounds::color_composite_bound(D, kM, c);
+      table.row(D, c, cost.instances, cost.max_conflicts, cost.mean_conflicts,
+                bound, bounds::trivial_lower(D, kM),
+                bench::pass_cell(cost.max_conflicts <= bound));
+    }
+  }
+  bench::print_experiment(
+      "E6a (Theorem 6)",
+      "Cost(COLOR, C(D, c), M) <= 4*D/M + c on random composites", table);
+}
+
+void print_range_query_table() {
+  const CompleteBinaryTree tree(18);
+  const EagerColorMapping color(make_optimal_color_mapping(tree, kM));
+  TableWriter table({"range width", "D (nodes)", "c", "measured", "Thm 6 bound",
+                     "verdict"});
+  Rng rng(608);
+  for (const std::uint64_t width : {16u, 128u, 1024u, 8192u}) {
+    std::uint64_t worst = 0, worst_D = 0, worst_c = 0, worst_bound = 0;
+    bool ok = true;
+    for (int q = 0; q < 100; ++q) {
+      const std::uint64_t lo = rng.below(tree.num_leaves() - width + 1);
+      const auto composite = range_query_template(tree, lo, lo + width - 1);
+      const auto nodes = composite.nodes();
+      const std::uint64_t measured = conflicts(color, nodes);
+      const std::uint64_t bound = bounds::color_composite_bound(
+          nodes.size(), kM, composite.component_count());
+      ok = ok && measured <= bound;
+      if (measured >= worst) {
+        worst = measured;
+        worst_D = nodes.size();
+        worst_c = composite.component_count();
+        worst_bound = bound;
+      }
+    }
+    table.row(width, worst_D, worst_c, worst, worst_bound, bench::pass_cell(ok));
+  }
+  bench::print_experiment(
+      "E6b (Theorem 6 on Section 1.1 range queries)",
+      "B-tree range queries decompose into C(D, c) and respect the bound",
+      table);
+}
+
+void BM_CompositeSampling(benchmark::State& state) {
+  const auto D = static_cast<std::uint64_t>(state.range(0));
+  const CompleteBinaryTree tree(20);
+  const EagerColorMapping color(make_optimal_color_mapping(tree, kM));
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sample_composites(color, D, 8, 10, rng).max_conflicts);
+  }
+}
+BENCHMARK(BM_CompositeSampling)->Arg(256)->Arg(1024)->Arg(4096);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_random_table();
+  print_range_query_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

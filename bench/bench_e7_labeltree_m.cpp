@@ -1,0 +1,116 @@
+// E7 — Theorem 7 (LABEL-TREE at template size M):
+//
+//   * O(sqrt(M / log M)) conflicts on all size-M elementary templates;
+//   * memory load ratio 1 + o(1);
+//   * O(1) addressing after O(M) preprocessing, O(log M) without.
+//
+// Table (a) sweeps M and reports the measured worst case for S(M), P(M),
+// L(M) against the sqrt(M/log M) scale (the theorem's envelope) and
+// against COLOR's cost-1 result — quantifying what LABEL-TREE gives up in
+// conflicts. Table (b) regenerates the load-balance claim: the max/min
+// module load ratio as the tree grows (should approach 1), with COLOR's
+// skew alongside. The timing section measures the two retrieval modes.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "pmtree/analysis/bounds.hpp"
+#include "pmtree/analysis/cost.hpp"
+#include "pmtree/analysis/load_balance.hpp"
+#include "pmtree/mapping/color.hpp"
+#include "pmtree/mapping/label_tree.hpp"
+#include "pmtree/util/bits.hpp"
+#include "pmtree/util/rng.hpp"
+
+namespace {
+
+using namespace pmtree;
+
+void print_conflict_table() {
+  TableWriter table({"M", "sqrt(M/logM)", "LT S(M)", "LT P(M)", "LT L(M)",
+                     "COLOR worst", "verdict (<=4x scale + 2)"});
+  for (std::uint32_t m = 3; m <= 6; ++m) {
+    const auto M = static_cast<std::uint32_t>(tree_size(m));
+    const std::uint32_t levels = std::min<std::uint32_t>(std::max(M, 14u), 18);
+    if (levels < m) continue;
+    const CompleteBinaryTree tree(levels);
+    const LabelTreeMapping label(tree, M);
+
+    const auto s = evaluate_subtrees(label, M).max_conflicts;
+    const auto p = levels >= M ? evaluate_paths(label, M).max_conflicts : 0;
+    const auto l = evaluate_level_runs(label, M).max_conflicts;
+
+    const EagerColorMapping color(make_optimal_color_mapping(tree, M));
+    const auto cs = evaluate_subtrees(color, M).max_conflicts;
+    const auto cp = levels >= M ? evaluate_paths(color, M).max_conflicts : 0;
+
+    const double scale = bounds::label_tree_m_scale(M);
+    const double envelope = 4.0 * scale + 2.0;
+    const bool ok = static_cast<double>(std::max({s, p, l})) <= envelope;
+    table.row(M, scale, s, p, l, std::max(cs, cp), bench::pass_cell(ok));
+  }
+  bench::print_experiment(
+      "E7a (Theorem 7, conflicts)",
+      "LABEL-TREE: O(sqrt(M/log M)) conflicts on size-M elementary "
+      "templates (COLOR: 1, with the costlier addressing)",
+      table);
+}
+
+void print_load_table() {
+  TableWriter table({"M", "tree levels", "LT max/min", "LT ratio",
+                     "COLOR ratio", "verdict (LT -> 1)"});
+  for (const std::uint32_t M : {15u, 31u, 63u}) {
+    for (const std::uint32_t levels : {14u, 18u, 22u}) {
+      const CompleteBinaryTree tree(levels);
+      const LabelTreeMapping label(tree, M);
+      const auto lt = load_balance(label);
+      const ColorMapping color = make_optimal_color_mapping(tree, M);
+      const auto co = load_balance(EagerColorMapping(color));
+      table.row(M, levels,
+                std::to_string(lt.max_load) + "/" + std::to_string(lt.min_load),
+                lt.ratio(), co.ratio(), bench::pass_cell(lt.ratio() <= 1.25));
+    }
+  }
+  bench::print_experiment(
+      "E7b (Theorem 7, load balance)",
+      "LABEL-TREE's module load ratio is 1 + o(1); COLOR overloads modules",
+      table);
+}
+
+void BM_LabelTreeRetrievalTable(benchmark::State& state) {
+  const CompleteBinaryTree tree(24);
+  const LabelTreeMapping map(tree, static_cast<std::uint32_t>(state.range(0)),
+                             LabelTreeMapping::Retrieval::kTable);
+  Rng rng(1);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sink += map.color_of(node_at(rng.below(tree.size())));
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_LabelTreeRetrievalTable)->Arg(15)->Arg(255)->Arg(1023);
+
+void BM_LabelTreeRetrievalRecursive(benchmark::State& state) {
+  const CompleteBinaryTree tree(24);
+  const LabelTreeMapping map(tree, static_cast<std::uint32_t>(state.range(0)),
+                             LabelTreeMapping::Retrieval::kRecursive);
+  Rng rng(1);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sink += map.color_of(node_at(rng.below(tree.size())));
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_LabelTreeRetrievalRecursive)->Arg(15)->Arg(255)->Arg(1023);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_conflict_table();
+  print_load_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,115 @@
+// E8 — Lemma 7 & Theorem 8: LABEL-TREE scaling with template size D:
+//
+//     Cost(L(D)) = O(D / sqrt(M log M))          (Lemma 7.1, proved)
+//     Cost(P(D)) <= ceil(D / sqrt(M log M)) + 1  (Lemma 7.2)
+//     Cost(S(D)) = O(D / sqrt(M log M))          (Lemma 7.3)
+//     Cost(C(D, c)) = O(D / sqrt(M log M) + c)   (Theorem 8)
+//
+// versus COLOR's O(D/M + c) (Theorem 6) — the paper's point is that
+// LABEL-TREE trades a sqrt(log M / M) * M = sqrt(M log M)-ish factor more
+// conflicts for O(1) addressing and balanced load.
+//
+// The tables sweep D at fixed M and report measured max conflicts next to
+// the D/sqrt(M log M) scale and COLOR's numbers.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "pmtree/analysis/bounds.hpp"
+#include "pmtree/analysis/cost.hpp"
+#include "pmtree/mapping/color.hpp"
+#include "pmtree/mapping/label_tree.hpp"
+#include "pmtree/util/bits.hpp"
+#include "pmtree/util/rng.hpp"
+
+namespace {
+
+using namespace pmtree;
+
+constexpr std::uint32_t kM = 63;
+constexpr std::uint32_t kLevels = 18;
+
+void print_elementary_table() {
+  const CompleteBinaryTree tree(kLevels);
+  const LabelTreeMapping label(tree, kM);
+  const EagerColorMapping color(make_optimal_color_mapping(tree, kM));
+  const double scale = bounds::label_tree_d_scale(1, kM);  // per-node slope
+
+  TableWriter table({"family", "D", "D/sqrt(MlogM)", "LABEL-TREE", "COLOR",
+                     "verdict (<=6x + 4)"});
+  for (const std::uint64_t D : {64u, 128u, 256u, 512u, 1024u, 2048u}) {
+    const auto lt = evaluate_level_runs(label, D).max_conflicts;
+    const auto co = evaluate_level_runs(color, D).max_conflicts;
+    const double s = scale * static_cast<double>(D);
+    table.row("L", D, s, lt, co,
+              bench::pass_cell(static_cast<double>(lt) <= 6.0 * s + 4.0));
+  }
+  for (std::uint32_t d = 6; d <= 11; ++d) {
+    const std::uint64_t D = tree_size(d);
+    const auto lt = evaluate_subtrees(label, D).max_conflicts;
+    const auto co = evaluate_subtrees(color, D).max_conflicts;
+    const double s = scale * static_cast<double>(D);
+    table.row("S", D, s, lt, co,
+              bench::pass_cell(static_cast<double>(lt) <= 6.0 * s + 4.0));
+  }
+  for (const std::uint64_t D : {6u, 10u, 14u, 18u}) {
+    const auto lt = evaluate_paths(label, D).max_conflicts;
+    const auto co = evaluate_paths(color, D).max_conflicts;
+    const double bound = bounds::label_tree_d_scale(D, kM) + 1.0;
+    table.row("P", D, bounds::label_tree_d_scale(D, kM), lt, co,
+              bench::pass_cell(static_cast<double>(lt) <= 6.0 * bound + 4.0));
+  }
+  bench::print_experiment(
+      "E8a (Lemma 7)",
+      "LABEL-TREE elementary-template conflicts scale as D/sqrt(M log M); "
+      "COLOR's scale is the steeper-at-small-D but flatter-per-module D/M",
+      table);
+}
+
+void print_composite_table() {
+  const CompleteBinaryTree tree(kLevels);
+  const LabelTreeMapping label(tree, kM);
+  const EagerColorMapping color(make_optimal_color_mapping(tree, kM));
+  TableWriter table({"D", "c", "LABEL-TREE max", "scale + c", "COLOR max",
+                     "Thm 6 bound", "verdict"});
+  Rng rng(808);
+  for (const std::uint64_t c : {1u, 4u, 16u}) {
+    for (const std::uint64_t D : {256u, 1024u, 4096u}) {
+      Rng rng_label = rng;  // identical instances for both mappings
+      const auto lt = sample_composites(label, D, c, 150, rng_label);
+      Rng rng_color = rng;
+      const auto co = sample_composites(color, D, c, 150, rng_color);
+      rng = rng_label;
+      const double scale =
+          bounds::label_tree_d_scale(D, kM) + static_cast<double>(c);
+      const bool ok =
+          static_cast<double>(lt.max_conflicts) <= 6.0 * scale + 4.0;
+      table.row(D, c, lt.max_conflicts, scale, co.max_conflicts,
+                bounds::color_composite_bound(D, kM, c), bench::pass_cell(ok));
+    }
+  }
+  bench::print_experiment(
+      "E8b (Theorem 8)",
+      "LABEL-TREE composite-template conflicts are O(D/sqrt(M log M) + c)",
+      table);
+}
+
+void BM_LabelTreeScalingSweep(benchmark::State& state) {
+  const auto D = static_cast<std::uint64_t>(state.range(0));
+  const CompleteBinaryTree tree(kLevels);
+  const LabelTreeMapping label(tree, kM);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluate_level_runs(label, D).max_conflicts);
+  }
+}
+BENCHMARK(BM_LabelTreeScalingSweep)->Arg(128)->Arg(512)->Arg(2048);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_elementary_table();
+  print_composite_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

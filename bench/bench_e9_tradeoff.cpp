@@ -1,0 +1,124 @@
+// E9 — the paper's headline trade-off table (Sections 4-6, Conclusions):
+//
+//   COLOR:      minimal conflicts (CF below full parallelism, 1 at it,
+//               O(D/M + c) beyond), but O(H) addressing and skewed load;
+//   LABEL-TREE: more conflicts (O(sqrt(M/log M)) at size M), but O(1)
+//               addressing after O(M) preprocessing and 1 + o(1) load;
+//   baselines:  O(1) addressing, no conflict guarantees at all.
+//
+// One row per mapping: measured conflicts on each template family at
+// size M, addressing nanoseconds per node, load-balance ratio — the
+// qualitative table the paper's conclusion describes.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "bench_common.hpp"
+#include "pmtree/analysis/cost.hpp"
+#include "pmtree/analysis/load_balance.hpp"
+#include "pmtree/mapping/baselines.hpp"
+#include "pmtree/mapping/color.hpp"
+#include "pmtree/mapping/label_tree.hpp"
+#include "pmtree/util/bits.hpp"
+#include "pmtree/util/rng.hpp"
+
+namespace {
+
+using namespace pmtree;
+
+constexpr std::uint32_t kM = 15;
+constexpr std::uint32_t kLevels = 16;
+
+/// Mean nanoseconds per color_of over a fixed random probe set.
+double addressing_ns(const TreeMapping& map) {
+  Rng rng(42);
+  std::vector<Node> probes;
+  for (int i = 0; i < 200000; ++i) {
+    probes.push_back(node_at(rng.below(map.tree().size())));
+  }
+  std::uint64_t sink = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const Node& n : probes) sink += map.color_of(n);
+  const auto t1 = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(sink);
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+         static_cast<double>(probes.size());
+}
+
+void print_table() {
+  const CompleteBinaryTree tree(kLevels);
+
+  const ColorMapping color_lazy = make_optimal_color_mapping(tree, kM);
+  const ColorMapping color_block(tree, color_lazy.N(), color_lazy.k(),
+                                 internal::GammaVariant::kCorrect,
+                                 ColorMapping::Retrieval::kBlockTable);
+  const EagerColorMapping color_table(color_lazy);
+  const LabelTreeMapping label(tree, kM);
+  const LabelTreeMapping label_rec(tree, kM,
+                                   LabelTreeMapping::Retrieval::kRecursive);
+  const ModuloMapping naive(tree, kM);
+  const LevelModMapping level_mod(tree, kM);
+  const RandomMapping random(tree, kM, 77);
+
+  TableWriter table({"mapping", "S(M)", "P(M)", "L(M)", "C(4M,4)",
+                     "addressing ns", "load ratio", "table bytes"});
+  struct Row {
+    const TreeMapping* map;
+    std::uint64_t table_bytes;
+  };
+  const Row rows[] = {
+      {&color_lazy, 0},
+      {&color_block, (pow2(color_lazy.N()) - 1) * 8},
+      {&color_table, tree.size() * sizeof(Color)},
+      {&label, (pow2(ceil_log2(kM)) - 1) * sizeof(std::uint32_t)},
+      {&label_rec, 0},
+      {&naive, 0},
+      {&level_mod, 0},
+      {&random, 0},
+  };
+  for (const Row& row : rows) {
+    const TreeMapping& map = *row.map;
+    Rng rng(9001);
+    const auto s = evaluate_subtrees(map, kM).max_conflicts;
+    const auto p = evaluate_paths(map, kM).max_conflicts;
+    const auto l = evaluate_level_runs(map, kM).max_conflicts;
+    const auto c = sample_composites(map, 4 * kM, 4, 300, rng).max_conflicts;
+    table.row(map.name(), s, p, l, c, addressing_ns(map),
+              load_balance(map).ratio(), row.table_bytes);
+  }
+  bench::print_experiment(
+      "E9 (Sections 4-6: the trade-off)",
+      "conflicts vs addressing cost vs load balance, template size M = " +
+          std::to_string(kM),
+      table);
+}
+
+void BM_AddressingColorLazy(benchmark::State& state) {
+  const CompleteBinaryTree tree(kLevels);
+  const ColorMapping map = make_optimal_color_mapping(tree, kM);
+  Rng rng(5);
+  std::uint64_t sink = 0;
+  for (auto _ : state) sink += map.color_of(node_at(rng.below(tree.size())));
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_AddressingColorLazy);
+
+void BM_AddressingLabelTree(benchmark::State& state) {
+  const CompleteBinaryTree tree(kLevels);
+  const LabelTreeMapping map(tree, kM);
+  Rng rng(5);
+  std::uint64_t sink = 0;
+  for (auto _ : state) sink += map.color_of(node_at(rng.below(tree.size())));
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_AddressingLabelTree);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

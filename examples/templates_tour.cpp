@@ -1,0 +1,85 @@
+// Templates tour — a runnable version of the paper's Fig. 1.
+//
+// Prints a small complete tree with one instance of each template kind
+// highlighted, then the instance families' sizes, then how COLOR colors
+// the tree (so the conflict-freeness can be eyeballed).
+//
+//   $ ./templates_tour
+#include <cstdint>
+#include <iostream>
+#include <set>
+#include <string>
+
+#include "pmtree/mapping/color.hpp"
+#include "pmtree/templates/enumerate.hpp"
+#include "pmtree/templates/instance.hpp"
+#include "pmtree/util/bits.hpp"
+
+namespace {
+
+using namespace pmtree;
+
+/// Renders the tree level by level; members of `mark` are bracketed.
+void draw(const CompleteBinaryTree& tree, const std::set<std::uint64_t>& mark,
+          const ColorMapping* mapping = nullptr) {
+  for (std::uint32_t j = 0; j < tree.levels(); ++j) {
+    const std::uint64_t width = tree.level_width(j);
+    const std::uint64_t cell = pow2(tree.levels() - 1 - j) * 4;
+    std::cout << "L" << j << " ";
+    for (std::uint64_t i = 0; i < width; ++i) {
+      const Node n = v(i, j);
+      std::string label = mapping ? std::to_string(mapping->color_of(n))
+                                  : std::to_string(bfs_id(n));
+      if (mark.count(bfs_id(n)) != 0) label = "[" + label + "]";
+      const std::uint64_t pad = cell > label.size() ? cell - label.size() : 1;
+      std::cout << std::string(pad / 2, ' ') << label
+                << std::string(pad - pad / 2, ' ');
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\n";
+}
+
+std::set<std::uint64_t> ids_of(const std::vector<Node>& nodes) {
+  std::set<std::uint64_t> ids;
+  for (const Node& n : nodes) ids.insert(bfs_id(n));
+  return ids;
+}
+
+}  // namespace
+
+int main() {
+  const CompleteBinaryTree tree(5);
+  std::cout << "A complete binary tree of " << tree.levels() << " levels ("
+            << tree.size() << " nodes), node labels are BFS ids:\n\n";
+  draw(tree, {});
+
+  std::cout << "S-template instance S_7(1, 1) — a complete subtree:\n\n";
+  draw(tree, ids_of(SubtreeInstance{v(1, 1), 7}.nodes()));
+
+  std::cout << "P-template instance P_4(11, 4) — an ascending path:\n\n";
+  draw(tree, ids_of(PathInstance{v(11, 4), 4}.nodes()));
+
+  std::cout << "L-template instance L_5(3, 4) — consecutive level nodes:\n\n";
+  draw(tree, ids_of(LevelRunInstance{v(3, 4), 5}.nodes()));
+
+  std::cout << "C-template — a composite of disjoint instances:\n\n";
+  CompositeInstance composite;
+  composite.add(SubtreeInstance{v(0, 2), 3});
+  composite.add(PathInstance{v(3, 2), 3});
+  composite.add(LevelRunInstance{v(8, 4), 4});
+  draw(tree, ids_of(composite.nodes()));
+
+  std::cout << "family sizes on this tree:\n"
+            << "  |S(7)| = " << count_subtrees(tree, 7) << "\n"
+            << "  |P(4)| = " << count_paths(tree, 4) << "\n"
+            << "  |L(5)| = " << count_level_runs(tree, 5) << "\n\n";
+
+  const ColorMapping mapping(tree, 5, 2);
+  std::cout << "the same tree colored by " << mapping.name() << " on "
+            << mapping.num_modules() << " modules (labels are module "
+            << "numbers;\nevery S_3 subtree and every 5-node ascending path "
+            << "is rainbow):\n\n";
+  draw(tree, {}, &mapping);
+  return 0;
+}

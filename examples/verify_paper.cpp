@@ -1,0 +1,163 @@
+// verify_paper — the paper, checked in one run.
+//
+// Executes every theorem/lemma verdict on a representative configuration
+// set and prints a PASS/FAIL summary. This is the fast entry point for
+// "did the reproduction actually hold?"; the bench binaries regenerate the
+// full tables (see EXPERIMENTS.md).
+//
+//   $ ./verify_paper            # exit code 0 iff every verdict passes
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "pmtree/analysis/bounds.hpp"
+#include "pmtree/analysis/cost.hpp"
+#include "pmtree/analysis/load_balance.hpp"
+#include "pmtree/analysis/verify.hpp"
+#include "pmtree/mapping/color.hpp"
+#include "pmtree/mapping/label_tree.hpp"
+#include "pmtree/util/bits.hpp"
+#include "pmtree/util/rng.hpp"
+#include "pmtree/util/table.hpp"
+
+namespace {
+
+using namespace pmtree;
+
+struct Summary {
+  TableWriter table{{"claim", "configuration", "measured", "bound", "verdict"}};
+  int failures = 0;
+
+  void record(const std::string& claim, const std::string& config,
+              std::uint64_t measured, std::uint64_t bound, bool ok) {
+    table.row(claim, config, measured, bound, ok ? "PASS" : "FAIL");
+    failures += ok ? 0 : 1;
+  }
+};
+
+void check_theorem_1_3(Summary& summary) {
+  const struct {
+    std::uint32_t H, N, k;
+  } configs[] = {{10, 4, 2}, {12, 5, 3}, {14, 6, 3}, {15, 8, 4}};
+  for (const auto& cfg : configs) {
+    const ColorMapping map(CompleteBinaryTree(cfg.H), cfg.N, cfg.k);
+    const auto verdict = verify_cf_elementary(map, tree_size(cfg.k), cfg.N);
+    summary.record("Thm 1/3: CF on S(K), P(N)",
+                   "H=" + std::to_string(cfg.H) + " N=" + std::to_string(cfg.N) +
+                       " k=" + std::to_string(cfg.k),
+                   verdict.measured, verdict.bound, verdict.ok);
+  }
+}
+
+void check_theorem_2(Summary& summary) {
+  const struct {
+    std::uint32_t N, k;
+  } configs[] = {{5, 2}, {6, 3}, {9, 4}};
+  for (const auto& cfg : configs) {
+    const ColorMapping map(CompleteBinaryTree(cfg.N + 2), cfg.N, cfg.k);
+    const auto verdict = verify_optimality_witness(map, cfg.N, cfg.k);
+    summary.record("Thm 2: TP(K,N-k) witness",
+                   "N=" + std::to_string(cfg.N) + " k=" + std::to_string(cfg.k),
+                   verdict.measured, verdict.bound, verdict.ok);
+  }
+}
+
+void check_theorem_4_5(Summary& summary) {
+  for (const std::uint32_t m : {2u, 3u, 4u}) {
+    const auto M = static_cast<std::uint32_t>(tree_size(m));
+    const ColorMapping map =
+        make_optimal_color_mapping(CompleteBinaryTree(M + 2), M);
+    const auto verdict = verify_full_parallelism(map);
+    summary.record("Thm 4/5: cost <= 1 at size M", "M=" + std::to_string(M),
+                   verdict.measured, verdict.bound, verdict.ok);
+  }
+}
+
+void check_lemma_2(Summary& summary) {
+  for (const std::uint32_t k : {2u, 3u, 4u}) {
+    const std::uint32_t N = k + 3;
+    const BasicColorMapping map(CompleteBinaryTree(N), N, k);
+    const auto verdict = verify_level_cost(map, tree_size(k), 1);
+    summary.record("Lemma 2: L(K) <= 1 per block",
+                   "N=" + std::to_string(N) + " k=" + std::to_string(k),
+                   verdict.measured, verdict.bound, verdict.ok);
+  }
+}
+
+void check_lemmas_3_4_5(Summary& summary) {
+  const std::uint32_t M = 7;
+  const EagerColorMapping map(
+      make_optimal_color_mapping(CompleteBinaryTree(14), M));
+  for (const std::uint64_t D : {9u, 13u}) {
+    const auto measured = evaluate_paths(map, D).max_conflicts;
+    const auto bound = bounds::color_path_bound(D, M);
+    summary.record("Lemma 3: P(D) bound", "D=" + std::to_string(D), measured,
+                   bound, measured <= bound);
+  }
+  for (const std::uint64_t D : {14u, 56u}) {
+    const auto measured = evaluate_level_runs(map, D).max_conflicts;
+    const auto bound = bounds::color_level_bound(D, M);
+    summary.record("Lemma 4: L(D) bound", "D=" + std::to_string(D), measured,
+                   bound, measured <= bound);
+  }
+  for (const std::uint32_t d : {4u, 7u}) {
+    const std::uint64_t D = tree_size(d);
+    const auto measured = evaluate_subtrees(map, D).max_conflicts;
+    const auto bound = bounds::color_subtree_bound(D, M);
+    summary.record("Lemma 5: S(D) bound", "D=" + std::to_string(D), measured,
+                   bound, measured <= bound);
+  }
+}
+
+void check_theorem_6(Summary& summary) {
+  const std::uint32_t M = 15;
+  const EagerColorMapping map(
+      make_optimal_color_mapping(CompleteBinaryTree(16), M));
+  Rng rng(99);
+  for (const std::uint64_t c : {2u, 8u}) {
+    const std::uint64_t D = 512;
+    const auto cost = sample_composites(map, D, c, 100, rng);
+    const auto bound = bounds::color_composite_bound(D, M, c);
+    summary.record("Thm 6: C(D,c) bound",
+                   "D=512 c=" + std::to_string(c), cost.max_conflicts, bound,
+                   cost.instances > 0 && cost.max_conflicts <= bound);
+  }
+}
+
+void check_theorem_7_8(Summary& summary) {
+  for (const std::uint32_t M : {15u, 63u}) {
+    const CompleteBinaryTree tree(14);
+    const LabelTreeMapping map(tree, M);
+    const auto envelope =
+        static_cast<std::uint64_t>(4.0 * bounds::label_tree_m_scale(M) + 2.0);
+    const auto s = evaluate_subtrees(map, M).max_conflicts;
+    summary.record("Thm 7: LABEL-TREE S(M) scale", "M=" + std::to_string(M), s,
+                   envelope, s <= envelope);
+    const auto balance = load_balance(map);
+    summary.record("Thm 7: load ratio <= 1.1 (x1000)",
+                   "M=" + std::to_string(M),
+                   static_cast<std::uint64_t>(balance.ratio() * 1000), 1100,
+                   balance.ratio() <= 1.1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  Summary summary;
+  check_theorem_1_3(summary);
+  check_theorem_2(summary);
+  check_theorem_4_5(summary);
+  check_lemma_2(summary);
+  check_lemmas_3_4_5(summary);
+  check_theorem_6(summary);
+  check_theorem_7_8(summary);
+
+  summary.table.print(std::cout);
+  std::cout << '\n'
+            << (summary.failures == 0
+                    ? "all paper claims verified."
+                    : std::to_string(summary.failures) + " claim(s) FAILED.")
+            << '\n';
+  return summary.failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+// Closed-form theorem bounds from the paper, so tests and benches can put
+// "measured" and "bound" side by side. Each function documents which
+// theorem/lemma it transcribes; preconditions mirror the statements.
+#pragma once
+
+#include <cstdint>
+
+#include "pmtree/util/bits.hpp"
+
+namespace pmtree::bounds {
+
+/// Theorems 1-3: modules needed for CF access to S(K) and P(N):
+/// N + K - k with K = 2^k - 1. This is both what COLOR uses and the
+/// optimum (Theorem 2).
+[[nodiscard]] constexpr std::uint32_t cf_modules(std::uint32_t N,
+                                                 std::uint32_t k) noexcept {
+  return N + static_cast<std::uint32_t>(tree_size(k)) - k;
+}
+
+/// Theorem 3 corollary (Section 4): CF access to S(M) and P(M) needs
+/// 2M - ceil(log2 M) modules.
+[[nodiscard]] constexpr std::uint64_t cf_modules_full(std::uint64_t M) noexcept {
+  return 2 * M - ceil_log2(M);
+}
+
+/// Theorem 4: with M = 2^m - 1 modules, COLOR's cost on S(M) and P(M) is
+/// at most 1.
+inline constexpr std::uint64_t kOptimalFullParallelismCost = 1;
+
+/// Trivial lower bound (Section 2): any mapping of a size-K instance onto
+/// M modules costs at least ceil(K/M) - 1.
+[[nodiscard]] constexpr std::uint64_t trivial_lower(std::uint64_t K,
+                                                    std::uint64_t M) noexcept {
+  return ceil_div(K, M) - 1;
+}
+
+/// Lemma 3: Cost(COLOR, P(D), M) <= 2*ceil(D/M) - 1 for D >= M.
+[[nodiscard]] constexpr std::uint64_t color_path_bound(std::uint64_t D,
+                                                       std::uint64_t M) noexcept {
+  return 2 * ceil_div(D, M) - 1;
+}
+
+/// Lemma 4: Cost(COLOR, L(D), M) <= 4*ceil(D/M) for D >= M.
+[[nodiscard]] constexpr std::uint64_t color_level_bound(std::uint64_t D,
+                                                        std::uint64_t M) noexcept {
+  return 4 * ceil_div(D, M);
+}
+
+/// Lemma 5: Cost(COLOR, S(D), M) <= 4*ceil(D/M) - 1 for D = 2^d - 1 >= M.
+[[nodiscard]] constexpr std::uint64_t color_subtree_bound(std::uint64_t D,
+                                                          std::uint64_t M) noexcept {
+  return 4 * ceil_div(D, M) - 1;
+}
+
+/// Theorem 6: Cost(COLOR, C(D, c), M) <= 4*D/M + c.
+[[nodiscard]] constexpr std::uint64_t color_composite_bound(std::uint64_t D,
+                                                            std::uint64_t M,
+                                                            std::uint64_t c) noexcept {
+  return 4 * ceil_div(D, M) + c;
+}
+
+/// Theorem 7 / Lemma 7 reference scale for LABEL-TREE: sqrt(M / log M)
+/// (conflicts on elementary templates of size M are O of this).
+[[nodiscard]] double label_tree_m_scale(std::uint64_t M);
+
+/// Lemma 7 / Theorem 8 reference scale: D / sqrt(M log M) (+ c for
+/// composites); the asymptotic envelope the measured curves must track.
+[[nodiscard]] double label_tree_d_scale(std::uint64_t D, std::uint64_t M);
+
+}  // namespace pmtree::bounds

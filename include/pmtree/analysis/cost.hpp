@@ -1,0 +1,74 @@
+// Conflict-cost evaluation (Section 2 of the paper).
+//
+// For a mapping U and a template instance I, the cost is
+//
+//     C_U(T, I, M) = max_color |{ u in I : color(u) = color }| - 1,
+//
+// i.e. the number of *extra* accesses the busiest module receives; a
+// conflict-free access has cost 0 and an instance of size D needs exactly
+// cost+1 serialized memory rounds. The cost of a template *family* is the
+// maximum over its instances; evaluate_* computes it exhaustively (used by
+// the theorem tests on moderate trees) and sample_* estimates it by random
+// sampling (used by benches on big trees).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pmtree/mapping/mapping.hpp"
+#include "pmtree/templates/instance.hpp"
+#include "pmtree/tree/node.hpp"
+#include "pmtree/util/rng.hpp"
+
+namespace pmtree {
+
+/// Conflicts of a single access set: (max color multiplicity) - 1.
+/// Empty sets cost 0.
+[[nodiscard]] std::uint64_t conflicts(const TreeMapping& mapping,
+                                      std::span<const Node> nodes);
+
+/// Serialized memory rounds to serve the access: conflicts + 1 (0 if empty).
+[[nodiscard]] std::uint64_t rounds(const TreeMapping& mapping,
+                                   std::span<const Node> nodes);
+
+/// Summary of a family evaluation.
+struct FamilyCost {
+  std::uint64_t max_conflicts = 0;   ///< Cost(U, family, M)
+  double mean_conflicts = 0.0;
+  std::uint64_t instances = 0;       ///< instances evaluated
+  /// One instance achieving max_conflicts (first found), as its node set.
+  std::vector<Node> witness;
+};
+
+/// Exhaustive Cost(U, S(K), M) over every size-K subtree of U's tree.
+[[nodiscard]] FamilyCost evaluate_subtrees(const TreeMapping& mapping,
+                                           std::uint64_t K);
+
+/// Exhaustive Cost(U, L(K), M).
+[[nodiscard]] FamilyCost evaluate_level_runs(const TreeMapping& mapping,
+                                             std::uint64_t K);
+
+/// Exhaustive Cost(U, P(K), M).
+[[nodiscard]] FamilyCost evaluate_paths(const TreeMapping& mapping,
+                                        std::uint64_t K);
+
+/// Exhaustive cost over the TP(K, j) family of Lemma 1 for every j.
+[[nodiscard]] FamilyCost evaluate_tp(const TreeMapping& mapping, std::uint64_t K);
+
+/// Sampled cost estimates (max over `samples` random instances).
+[[nodiscard]] FamilyCost sample_subtrees(const TreeMapping& mapping,
+                                         std::uint64_t K, std::uint64_t samples,
+                                         Rng& rng);
+[[nodiscard]] FamilyCost sample_level_runs(const TreeMapping& mapping,
+                                           std::uint64_t K, std::uint64_t samples,
+                                           Rng& rng);
+[[nodiscard]] FamilyCost sample_paths(const TreeMapping& mapping, std::uint64_t K,
+                                      std::uint64_t samples, Rng& rng);
+
+/// Sampled cost over composite templates C(D, c).
+[[nodiscard]] FamilyCost sample_composites(const TreeMapping& mapping,
+                                           std::uint64_t D, std::uint64_t c,
+                                           std::uint64_t samples, Rng& rng);
+
+}  // namespace pmtree

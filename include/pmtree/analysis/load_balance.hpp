@@ -1,0 +1,31 @@
+// Memory-load balance of a mapping (Section 6: LABEL-TREE "equally
+// distributes data items among the memory modules ... the ratio between
+// the maximum and minimum number of data items mapped onto the same module
+// is 1 + o(1)").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pmtree/mapping/mapping.hpp"
+
+namespace pmtree {
+
+struct LoadBalanceReport {
+  std::vector<std::uint64_t> per_module;  ///< nodes stored on each module
+  std::uint64_t min_load = 0;
+  std::uint64_t max_load = 0;
+  std::uint32_t used_modules = 0;         ///< modules with at least one node
+
+  /// max/min over modules that hold at least one node; 0 if degenerate.
+  [[nodiscard]] double ratio() const noexcept {
+    return min_load == 0 ? 0.0
+                         : static_cast<double>(max_load) /
+                               static_cast<double>(min_load);
+  }
+};
+
+/// Walks the whole tree and histograms node counts per module. O(2^H).
+[[nodiscard]] LoadBalanceReport load_balance(const TreeMapping& mapping);
+
+}  // namespace pmtree

@@ -1,0 +1,51 @@
+// Structural profiles of a mapping, used by the inspector tool and the
+// bench harness to explain *where* a mapping's conflicts and load skew
+// come from:
+//
+//   * level_color_histogram — how often each color appears on one level
+//     (BASIC-COLOR reuses each level's colors in a strict pattern;
+//     baselines scatter);
+//   * conflict_profile — worst conflicts of a template family restricted
+//     to instances anchored at each level, exposing e.g. COLOR's
+//     block-boundary L-template behaviour level by level;
+//   * color_report — per-module node counts plus first/last level of use.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pmtree/mapping/mapping.hpp"
+#include "pmtree/templates/instance.hpp"
+
+namespace pmtree {
+
+/// Occurrences of each color among the nodes of level `j`. O(2^j).
+[[nodiscard]] std::vector<std::uint64_t> level_color_histogram(
+    const TreeMapping& mapping, std::uint32_t j);
+
+/// Worst conflicts over instances of the family anchored at each level:
+/// entry j covers subtrees rooted at / runs inside / paths starting at
+/// level j. Entries for levels that host no instance are 0.
+struct LevelProfile {
+  std::vector<std::uint64_t> worst_by_level;
+  std::uint64_t overall = 0;
+};
+
+[[nodiscard]] LevelProfile subtree_profile(const TreeMapping& mapping,
+                                           std::uint64_t K);
+[[nodiscard]] LevelProfile level_run_profile(const TreeMapping& mapping,
+                                             std::uint64_t K);
+[[nodiscard]] LevelProfile path_profile(const TreeMapping& mapping,
+                                        std::uint64_t K);
+
+/// Per-module usage summary.
+struct ColorUsage {
+  std::uint64_t nodes = 0;          ///< total nodes on this module
+  std::uint32_t first_level = 0;    ///< shallowest level using it
+  std::uint32_t last_level = 0;     ///< deepest level using it
+  bool used = false;
+};
+
+[[nodiscard]] std::vector<ColorUsage> color_report(const TreeMapping& mapping);
+
+}  // namespace pmtree

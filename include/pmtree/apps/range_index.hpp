@@ -1,0 +1,55 @@
+// RangeIndex: a static search tree over sorted keys, implemented as a
+// complete binary tree, whose range queries decompose into the paper's
+// composite template (Section 1.1: "a range query means accessing (in
+// parallel) all the nodes whose keys belong to a given range ... a
+// composite template consisting of a set of complete subtrees and a path").
+//
+// Keys live in the leaves (padded to a power of two with +infinity
+// sentinels); each internal node stores the maximum key of its left
+// subtree, the classic routing invariant. query() returns both the
+// answer and the exact composite template instance accessed, so callers
+// can measure the access's conflict cost under any mapping.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "pmtree/templates/instance.hpp"
+#include "pmtree/tree/node.hpp"
+#include "pmtree/tree/tree.hpp"
+
+namespace pmtree {
+
+class RangeIndex {
+ public:
+  using Key = std::int64_t;
+  static constexpr Key kSentinel = std::numeric_limits<Key>::max();
+
+  /// Builds the index over `sorted_keys` (must be sorted ascending, not
+  /// containing kSentinel). Precondition: not empty.
+  explicit RangeIndex(std::vector<Key> sorted_keys);
+
+  struct QueryResult {
+    std::vector<Key> keys;              ///< keys in [lo, hi], ascending
+    CompositeInstance decomposition;    ///< the C-template instance accessed
+    std::vector<Node> accessed;         ///< its flattened node set
+  };
+
+  /// All keys in the closed interval [lo, hi].
+  [[nodiscard]] QueryResult query(Key lo, Key hi) const;
+
+  [[nodiscard]] const CompleteBinaryTree& tree() const noexcept { return tree_; }
+  [[nodiscard]] std::uint64_t key_count() const noexcept { return key_count_; }
+
+  /// Routing value at a node: leaf -> its key (or sentinel padding),
+  /// internal -> max key of its left subtree.
+  [[nodiscard]] Key value_at(Node n) const noexcept;
+
+ private:
+  CompleteBinaryTree tree_;
+  std::vector<Key> values_;  ///< indexed by bfs_id
+  std::uint64_t key_count_;
+};
+
+}  // namespace pmtree

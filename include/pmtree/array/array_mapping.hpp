@@ -1,0 +1,123 @@
+// Array mappings (Section 1.2 context, refs [4] Colbourn-Heinrich and
+// [17] Kim-Prasanna).
+//
+// ArrayMapping is the array-side analogue of TreeMapping. Two schemes:
+//
+//   * RowMajorArrayMapping — color = (r*cols + c) mod M, the naive layout:
+//     perfect on row runs, terrible on columns whenever gcd(cols, M) != 1.
+//
+//   * SkewedArrayMapping — color = (a*r + c) mod M, the classical linear
+//     skewing / Latin-square scheme. Conflict-freeness is arithmetic:
+//     a run of K <= M cells along direction (dr, dc) steps the color by
+//     s = a*dr + dc each time, so the run is conflict-free iff
+//     gcd(s mod M, M) produces no repeat within K steps — in particular,
+//     with M prime and a chosen so that a, a+1, a-1 are all nonzero
+//     mod M, rows, columns and both diagonals of length <= M are all
+//     conflict-free simultaneously. With a = q, any p x q subarray with
+//     p*q <= M is conflict-free too (colors a*dr + dc for dr < p, dc < q
+//     are distinct base-q digit pairs).
+//
+// conflict_free_run_bound() exposes the exact arithmetic so tests can
+// check measured behaviour against the closed form.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <string>
+
+#include "pmtree/array/array2d.hpp"
+
+namespace pmtree {
+
+using ArrayColor = std::uint32_t;
+
+class ArrayMapping {
+ public:
+  explicit ArrayMapping(Array2D array) noexcept : array_(array) {}
+  virtual ~ArrayMapping() = default;
+
+  ArrayMapping(const ArrayMapping&) = default;
+  ArrayMapping& operator=(const ArrayMapping&) = delete;
+
+  [[nodiscard]] virtual ArrayColor color_of(Cell c) const = 0;
+  [[nodiscard]] virtual std::uint32_t num_modules() const noexcept = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] const Array2D& array() const noexcept { return array_; }
+
+ private:
+  Array2D array_;
+};
+
+class RowMajorArrayMapping final : public ArrayMapping {
+ public:
+  RowMajorArrayMapping(Array2D array, std::uint32_t M)
+      : ArrayMapping(array), M_(M) {}
+
+  [[nodiscard]] ArrayColor color_of(Cell c) const override {
+    return static_cast<ArrayColor>((c.row * array().cols() + c.col) % M_);
+  }
+  [[nodiscard]] std::uint32_t num_modules() const noexcept override { return M_; }
+  [[nodiscard]] std::string name() const override {
+    return "ROW-MAJOR(M=" + std::to_string(M_) + ")";
+  }
+
+ private:
+  std::uint32_t M_;
+};
+
+class SkewedArrayMapping final : public ArrayMapping {
+ public:
+  /// color(r, c) = (a*r + c) mod M.
+  SkewedArrayMapping(Array2D array, std::uint32_t M, std::uint32_t a)
+      : ArrayMapping(array), M_(M), a_(a) {}
+
+  [[nodiscard]] ArrayColor color_of(Cell c) const override {
+    return static_cast<ArrayColor>((c.row * a_ + c.col) % M_);
+  }
+  [[nodiscard]] std::uint32_t num_modules() const noexcept override { return M_; }
+  [[nodiscard]] std::string name() const override {
+    return "SKEW(a=" + std::to_string(a_) + ",M=" + std::to_string(M_) + ")";
+  }
+  [[nodiscard]] std::uint32_t skew() const noexcept { return a_; }
+
+  /// The color step along a direction: s = a*dr + dc mod M.
+  [[nodiscard]] std::uint32_t step(RunDirection d) const noexcept {
+    switch (d) {
+      case RunDirection::kRow: return 1 % M_;
+      case RunDirection::kColumn: return a_ % M_;
+      case RunDirection::kDiagonal: return (a_ + 1) % M_;
+      case RunDirection::kAntiDiagonal: return (a_ + M_ - 1) % M_;
+    }
+    return 0;
+  }
+
+  /// Longest conflict-free run along a direction: a run stepping by s
+  /// repeats a color after exactly M / gcd(s, M) cells (and never, i.e.
+  /// bound M, when gcd = 1). A step of 0 repeats immediately (bound 1).
+  [[nodiscard]] std::uint64_t conflict_free_run_bound(RunDirection d) const noexcept {
+    const std::uint32_t s = step(d);
+    if (s == 0) return 1;
+    return M_ / std::gcd(s, M_);
+  }
+
+ private:
+  std::uint32_t M_;
+  std::uint32_t a_;
+};
+
+/// Conflicts of one access (max module multiplicity - 1), array flavour.
+[[nodiscard]] std::uint64_t array_conflicts(const ArrayMapping& mapping,
+                                            std::span<const Cell> cells);
+
+/// Exhaustive worst-case conflicts over all K-cell runs of a direction.
+[[nodiscard]] std::uint64_t evaluate_runs(const ArrayMapping& mapping,
+                                          RunDirection direction,
+                                          std::uint64_t K);
+
+/// Exhaustive worst-case conflicts over all p x q subarrays.
+[[nodiscard]] std::uint64_t evaluate_subarrays(const ArrayMapping& mapping,
+                                               std::uint64_t p, std::uint64_t q);
+
+}  // namespace pmtree

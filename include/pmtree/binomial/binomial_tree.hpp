@@ -1,0 +1,157 @@
+// Binomial trees — the third structure of the paper's Section 1.2 context
+// (Das-Pinotti, refs [7], [9]: conflict-free access to "subtrees of a
+// binomial tree").
+//
+// B_n has 2^n nodes under the classic binomial-heap labeling: node labels
+// are the integers 0..2^n-1, the parent of v clears v's lowest set bit,
+// and the subtree rooted at v is the contiguous label range
+// [v, v + 2^rank(v)) where rank(v) = count of trailing zeros of v (the
+// root 0 has rank n). Two structural gifts follow:
+//
+//   * the B_k subtree rooted at any rank-k node is a full residue range
+//     modulo 2^k, so color = label mod 2^k is conflict-free on ALL
+//     subtree instances of order <= k with the minimal 2^k modules
+//     (BinomialSubtreeMapping);
+//   * the root path of v visits labels of strictly decreasing popcount,
+//     so color = popcount(label) mod M is conflict-free on ascending
+//     paths of <= M nodes (BinomialPathMapping).
+//
+// The two specialists reproduce the reference's flavour of result and
+// slot into the same conflict-evaluation framework as the rest of pmtree.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pmtree {
+
+class BinomialTree {
+ public:
+  /// B_order: 2^order nodes. Precondition: order <= 60.
+  constexpr explicit BinomialTree(std::uint32_t order) noexcept
+      : order_(order) {
+    assert(order <= 60);
+  }
+
+  [[nodiscard]] constexpr std::uint32_t order() const noexcept { return order_; }
+  [[nodiscard]] constexpr std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << order_;
+  }
+  [[nodiscard]] constexpr bool contains(std::uint64_t v) const noexcept {
+    return v < size();
+  }
+
+  /// rank(v): the order of the binomial subtree rooted at v.
+  [[nodiscard]] constexpr std::uint32_t rank(std::uint64_t v) const noexcept {
+    return v == 0 ? order_
+                  : static_cast<std::uint32_t>(std::countr_zero(v));
+  }
+
+  /// Parent: clear the lowest set bit. Precondition: v != 0.
+  [[nodiscard]] static constexpr std::uint64_t parent(std::uint64_t v) noexcept {
+    assert(v != 0);
+    return v & (v - 1);
+  }
+
+  /// Depth of v below the root: number of set bits.
+  [[nodiscard]] static constexpr std::uint32_t depth(std::uint64_t v) noexcept {
+    return static_cast<std::uint32_t>(std::popcount(v));
+  }
+
+  /// The nodes of the order-k subtree rooted at v: [v, v + 2^k).
+  /// Precondition: k <= rank(v).
+  [[nodiscard]] std::vector<std::uint64_t> subtree_nodes(std::uint64_t v,
+                                                         std::uint32_t k) const;
+
+  /// Root path of v, bottom-up (v first, root 0 last).
+  [[nodiscard]] static std::vector<std::uint64_t> root_path(std::uint64_t v);
+
+ private:
+  std::uint32_t order_;
+};
+
+/// Visits every order-k subtree instance (rooted at each node of
+/// rank >= k, taking its top B_k portion rooted there; following the
+/// references we enumerate subtrees rooted at rank-exactly-k nodes plus
+/// the root when order >= k — each is a maximal B_k instance).
+void for_each_binomial_subtree(
+    const BinomialTree& tree, std::uint32_t k,
+    const std::function<bool(std::uint64_t root)>& visit);
+
+class BinomialMapping {
+ public:
+  explicit BinomialMapping(BinomialTree tree) noexcept : tree_(tree) {}
+  virtual ~BinomialMapping() = default;
+
+  BinomialMapping(const BinomialMapping&) = default;
+  BinomialMapping& operator=(const BinomialMapping&) = delete;
+
+  [[nodiscard]] virtual std::uint32_t color_of(std::uint64_t v) const = 0;
+  [[nodiscard]] virtual std::uint32_t num_modules() const noexcept = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] const BinomialTree& tree() const noexcept { return tree_; }
+
+ private:
+  BinomialTree tree_;
+};
+
+/// color = label mod 2^k: CF on every subtree of order <= k (minimal
+/// module count 2^k for order-k instances).
+class BinomialSubtreeMapping final : public BinomialMapping {
+ public:
+  BinomialSubtreeMapping(BinomialTree tree, std::uint32_t k)
+      : BinomialMapping(tree), k_(k) {}
+
+  [[nodiscard]] std::uint32_t color_of(std::uint64_t v) const override {
+    return static_cast<std::uint32_t>(v & ((std::uint64_t{1} << k_) - 1));
+  }
+  [[nodiscard]] std::uint32_t num_modules() const noexcept override {
+    return std::uint32_t{1} << k_;
+  }
+  [[nodiscard]] std::string name() const override {
+    return "BINOMIAL-SUBTREE(k=" + std::to_string(k_) + ")";
+  }
+
+ private:
+  std::uint32_t k_;
+};
+
+/// color = popcount(label) mod M: CF on root-path segments of <= M nodes
+/// (depth strictly decreases along the path).
+class BinomialPathMapping final : public BinomialMapping {
+ public:
+  BinomialPathMapping(BinomialTree tree, std::uint32_t M)
+      : BinomialMapping(tree), M_(M) {}
+
+  [[nodiscard]] std::uint32_t color_of(std::uint64_t v) const override {
+    return BinomialTree::depth(v) % M_;
+  }
+  [[nodiscard]] std::uint32_t num_modules() const noexcept override { return M_; }
+  [[nodiscard]] std::string name() const override {
+    return "BINOMIAL-PATH(M=" + std::to_string(M_) + ")";
+  }
+
+ private:
+  std::uint32_t M_;
+};
+
+/// Conflicts of one access over labels.
+[[nodiscard]] std::uint64_t binomial_conflicts(const BinomialMapping& mapping,
+                                               std::span<const std::uint64_t> nodes);
+
+/// Exhaustive worst case over order-k subtree instances.
+[[nodiscard]] std::uint64_t evaluate_binomial_subtrees(
+    const BinomialMapping& mapping, std::uint32_t k);
+
+/// Exhaustive worst case over `size`-node root-path segments (each node's
+/// root path, split into windows of `size`).
+[[nodiscard]] std::uint64_t evaluate_binomial_paths(
+    const BinomialMapping& mapping, std::uint64_t size);
+
+}  // namespace pmtree

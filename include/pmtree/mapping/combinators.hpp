@@ -1,0 +1,57 @@
+// Mapping combinators.
+//
+// PermutedMapping composes any mapping with a bijection on the color set.
+// Conflict structure is invariant under color permutation — the property
+// tests rely on this to check that the analysis layer measures structure,
+// not incidental color values — while load *per module* permutes with it.
+#pragma once
+
+#include <cassert>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pmtree/mapping/mapping.hpp"
+#include "pmtree/util/rng.hpp"
+
+namespace pmtree {
+
+class PermutedMapping final : public TreeMapping {
+ public:
+  /// Wraps `base` (not owned; must outlive this object) with `permutation`,
+  /// a bijection on {0 .. base.num_modules()-1}.
+  PermutedMapping(const TreeMapping& base, std::vector<Color> permutation)
+      : TreeMapping(base.tree()), base_(base), perm_(std::move(permutation)) {
+    assert(perm_.size() == base.num_modules());
+  }
+
+  /// Convenience: a uniformly random permutation drawn from `rng`.
+  [[nodiscard]] static PermutedMapping shuffled(const TreeMapping& base,
+                                                Rng& rng) {
+    std::vector<Color> perm(base.num_modules());
+    std::iota(perm.begin(), perm.end(), 0u);
+    // Fisher-Yates with the library Rng (std::shuffle's distribution is
+    // implementation-defined; this keeps streams reproducible everywhere).
+    for (std::size_t i = perm.size(); i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.below(i)]);
+    }
+    return PermutedMapping(base, std::move(perm));
+  }
+
+  [[nodiscard]] Color color_of(Node n) const override {
+    return perm_[base_.color_of(n)];
+  }
+  [[nodiscard]] std::uint32_t num_modules() const noexcept override {
+    return base_.num_modules();
+  }
+  [[nodiscard]] std::string name() const override {
+    return base_.name() + "+perm";
+  }
+
+ private:
+  const TreeMapping& base_;
+  std::vector<Color> perm_;
+};
+
+}  // namespace pmtree

@@ -1,0 +1,76 @@
+// The parallel memory system model (Section 1 of the paper).
+//
+// A system of M modules serves one *parallel access* — a set of node
+// requests — per group of rounds: requests to distinct modules proceed in
+// the same round, requests colliding on one module queue up, so an access
+// whose busiest module receives r requests takes exactly r rounds. This is
+// precisely the paper's cost model: rounds = conflicts + 1.
+//
+// MemorySystem is the sequential accounting engine; the threaded driver
+// lives in simulator.hpp. Besides round counts it tracks per-module
+// traffic so benches can report utilization skew.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pmtree/mapping/mapping.hpp"
+#include "pmtree/tree/node.hpp"
+#include "pmtree/util/stats.hpp"
+
+namespace pmtree {
+
+/// Outcome of one parallel access.
+struct AccessResult {
+  std::uint64_t requests = 0;   ///< nodes requested
+  std::uint64_t rounds = 0;     ///< serialized memory rounds needed
+  std::uint64_t conflicts = 0;  ///< rounds - 1 (0 for empty access)
+};
+
+class MemorySystem {
+ public:
+  /// A system with the mapping's module count; the mapping supplies the
+  /// module of each node (the address function).
+  explicit MemorySystem(const TreeMapping& mapping);
+
+  /// Serves one parallel access to `nodes`; updates cumulative stats.
+  AccessResult access(std::span<const Node> nodes);
+
+  /// Number of memory modules.
+  [[nodiscard]] std::uint32_t modules() const noexcept {
+    return static_cast<std::uint32_t>(traffic_.size());
+  }
+
+  /// Total requests routed to each module since construction/reset.
+  [[nodiscard]] const std::vector<std::uint64_t>& traffic() const noexcept {
+    return traffic_;
+  }
+
+  /// Rounds-per-access distribution since construction/reset.
+  [[nodiscard]] const Accumulator& round_stats() const noexcept {
+    return round_stats_;
+  }
+
+  /// Total rounds across all accesses (the simulated completion time).
+  [[nodiscard]] std::uint64_t total_rounds() const noexcept {
+    return round_stats_.sum();
+  }
+
+  /// Ideal lower bound on rounds for the traffic served so far:
+  /// ceil(total requests / modules) aggregated per access.
+  [[nodiscard]] std::uint64_t ideal_rounds() const noexcept {
+    return ideal_rounds_;
+  }
+
+  void reset();
+
+ private:
+  const TreeMapping& mapping_;
+  std::vector<std::uint64_t> traffic_;
+  std::vector<std::uint32_t> scratch_;  ///< per-access occupancy histogram
+  Accumulator round_stats_;
+  std::uint64_t ideal_rounds_ = 0;
+};
+
+}  // namespace pmtree

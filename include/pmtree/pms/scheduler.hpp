@@ -1,0 +1,65 @@
+// BatchScheduler: makespan accounting for *concurrent* template accesses.
+//
+// The paper's cost model charges each parallel access its busiest module's
+// occupancy (rounds), one access at a time. Real parallel memory systems
+// overlap accesses from different processors: module queues serve one
+// request per cycle, so a batch of accesses completes when the busiest
+// module drains. BatchScheduler computes that makespan and per-module
+// queue depths, quantifying how a mapping's conflicts translate into
+// end-to-end batch latency:
+//
+//     makespan(batch) = max over modules of total requests routed to it,
+//
+// which lower-bounds any schedule and is achieved by module-FIFO service
+// (requests are independent single-cycle reads). Sequential rounds-per-
+// access summation (MemorySystem) is an upper bound; the gap between the
+// two is the overlap a real system can exploit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pmtree/mapping/mapping.hpp"
+#include "pmtree/pms/workload.hpp"
+
+namespace pmtree {
+
+struct BatchResult {
+  std::uint64_t accesses = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t makespan = 0;        ///< cycles until the batch completes
+  std::uint64_t ideal = 0;           ///< ceil(requests / modules)
+  std::vector<std::uint64_t> queue;  ///< per-module request counts
+
+  /// Batch-level slowdown versus a perfectly spread batch (>= 1.0).
+  [[nodiscard]] double skew() const noexcept {
+    return ideal == 0 ? 1.0
+                      : static_cast<double>(makespan) /
+                            static_cast<double>(ideal);
+  }
+};
+
+class BatchScheduler {
+ public:
+  explicit BatchScheduler(const TreeMapping& mapping) : mapping_(mapping) {}
+
+  /// Schedules all accesses of `batch` concurrently.
+  [[nodiscard]] BatchResult schedule(std::span<const Workload::Access> batch) const;
+
+  /// Convenience: the whole workload as one batch.
+  [[nodiscard]] BatchResult schedule(const Workload& workload) const {
+    return schedule(std::span<const Workload::Access>(workload.accesses()));
+  }
+
+  /// Splits the workload into consecutive batches of `batch_size` accesses
+  /// and returns the summed makespan — the completion time of a system
+  /// that admits `batch_size` processors' accesses at a time.
+  [[nodiscard]] std::uint64_t total_makespan(const Workload& workload,
+                                             std::size_t batch_size) const;
+
+ private:
+  const TreeMapping& mapping_;
+};
+
+}  // namespace pmtree

@@ -1,0 +1,57 @@
+// ParallelAccessSimulator: a multithreaded driver that replays a Workload
+// against a mapping and accounts the parallel memory system's behaviour.
+//
+// Worker threads claim accesses from a shared atomic cursor; each worker
+// routes its access's requests through the (pure, thread-safe) mapping,
+// counts the serialized rounds for that access, and accumulates results in
+// thread-local state. Totals are merged once at the end, so the hot loop
+// is contention-free — the standard HPC reduction pattern.
+//
+// The simulated quantity is the paper's cost model (rounds = busiest
+// module's occupancy); the wall-clock time additionally reflects the real
+// addressing cost of the mapping, which is how bench_e10 exposes the
+// retrieval-complexity trade-off end to end.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pmtree/mapping/mapping.hpp"
+#include "pmtree/pms/workload.hpp"
+#include "pmtree/util/stats.hpp"
+
+namespace pmtree {
+
+struct SimulationReport {
+  std::uint64_t accesses = 0;        ///< accesses served
+  std::uint64_t requests = 0;        ///< total node requests
+  std::uint64_t total_rounds = 0;    ///< simulated completion time
+  std::uint64_t ideal_rounds = 0;    ///< sum of ceil(size/M): lower bound
+  std::uint64_t max_rounds = 0;      ///< worst single access
+  double mean_rounds = 0.0;
+  double wall_seconds = 0.0;         ///< host time for the replay
+  std::vector<std::uint64_t> traffic;  ///< per-module request totals
+
+  /// Simulated slowdown versus a conflict-free ideal (>= 1.0).
+  [[nodiscard]] double slowdown() const noexcept {
+    return ideal_rounds == 0 ? 1.0
+                             : static_cast<double>(total_rounds) /
+                                   static_cast<double>(ideal_rounds);
+  }
+};
+
+class ParallelAccessSimulator {
+ public:
+  /// `threads` == 0 selects std::thread::hardware_concurrency().
+  explicit ParallelAccessSimulator(unsigned threads = 0) noexcept
+      : threads_(threads) {}
+
+  /// Replays `workload` against `mapping` and returns merged accounting.
+  [[nodiscard]] SimulationReport run(const TreeMapping& mapping,
+                                     const Workload& workload) const;
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace pmtree

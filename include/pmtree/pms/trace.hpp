@@ -1,0 +1,88 @@
+// Access tracing and latency modelling for the parallel memory system.
+//
+// run_traced() replays a workload against a mapping and records one entry
+// per access (requests, rounds, conflicts) plus cumulative per-module
+// traffic — the raw material for offline analysis; Trace::print_csv
+// exports it. LatencyModel converts round counts into nanoseconds under a
+// simple fixed-overhead + per-round cost model, turning the paper's
+// abstract conflict counts into end-to-end latency estimates a systems
+// reader can relate to.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "pmtree/mapping/mapping.hpp"
+#include "pmtree/pms/workload.hpp"
+#include "pmtree/util/stats.hpp"
+
+namespace pmtree {
+
+struct TraceEntry {
+  std::uint64_t access_id = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t conflicts = 0;
+};
+
+class Trace {
+ public:
+  Trace(std::vector<TraceEntry> entries, std::vector<std::uint64_t> traffic)
+      : entries_(std::move(entries)), traffic_(std::move(traffic)) {
+    for (const TraceEntry& e : entries_) rounds_.add(e.rounds);
+  }
+
+  [[nodiscard]] const std::vector<TraceEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& traffic() const noexcept {
+    return traffic_;
+  }
+  [[nodiscard]] const Accumulator& round_stats() const noexcept {
+    return rounds_;
+  }
+
+  /// Accesses whose rounds exceed `threshold` (the conflict outliers).
+  [[nodiscard]] std::vector<TraceEntry> slower_than(std::uint64_t threshold) const;
+
+  /// CSV export: access_id,requests,rounds,conflicts per line.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<TraceEntry> entries_;
+  std::vector<std::uint64_t> traffic_;
+  Accumulator rounds_;
+};
+
+/// Replays `workload` against `mapping`, recording every access.
+[[nodiscard]] Trace run_traced(const TreeMapping& mapping,
+                               const Workload& workload);
+
+/// Cost model: an access of r rounds takes issue_ns + r * round_ns.
+struct LatencyModel {
+  std::uint64_t issue_ns = 40;   ///< fixed per-access overhead
+  std::uint64_t round_ns = 100;  ///< one serialized memory round
+
+  [[nodiscard]] constexpr std::uint64_t access_ns(std::uint64_t rounds) const noexcept {
+    return issue_ns + rounds * round_ns;
+  }
+
+  /// Total latency of a trace, and what it would have been conflict-free
+  /// (every access one round): the pair quantifies the conflict tax.
+  struct Estimate {
+    std::uint64_t total_ns = 0;
+    std::uint64_t conflict_free_ns = 0;
+
+    [[nodiscard]] double overhead_factor() const noexcept {
+      return conflict_free_ns == 0
+                 ? 1.0
+                 : static_cast<double>(total_ns) /
+                       static_cast<double>(conflict_free_ns);
+    }
+  };
+
+  [[nodiscard]] Estimate estimate(const Trace& trace) const;
+};
+
+}  // namespace pmtree

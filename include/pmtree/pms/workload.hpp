@@ -1,0 +1,70 @@
+// Workload generation: reproducible streams of parallel accesses
+// (node sets) against a tree, mirroring the access patterns the paper
+// motivates — heap traversals (paths), subtree fetches, level scans,
+// B-tree range queries (composites), and mixes thereof.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pmtree/tree/node.hpp"
+#include "pmtree/tree/tree.hpp"
+
+namespace pmtree {
+
+/// A pre-generated sequence of parallel accesses.
+class Workload {
+ public:
+  using Access = std::vector<Node>;
+
+  Workload() = default;
+  explicit Workload(std::vector<Access> accesses)
+      : accesses_(std::move(accesses)) {}
+
+  [[nodiscard]] const std::vector<Access>& accesses() const noexcept {
+    return accesses_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return accesses_.size(); }
+  [[nodiscard]] const Access& operator[](std::size_t i) const noexcept {
+    return accesses_[i];
+  }
+
+  /// `count` random size-K subtree accesses.
+  [[nodiscard]] static Workload subtrees(const CompleteBinaryTree& tree,
+                                         std::uint64_t K, std::size_t count,
+                                         std::uint64_t seed);
+
+  /// `count` random K-node ascending-path accesses.
+  [[nodiscard]] static Workload paths(const CompleteBinaryTree& tree,
+                                      std::uint64_t K, std::size_t count,
+                                      std::uint64_t seed);
+
+  /// `count` random K-node level-run accesses.
+  [[nodiscard]] static Workload level_runs(const CompleteBinaryTree& tree,
+                                           std::uint64_t K, std::size_t count,
+                                           std::uint64_t seed);
+
+  /// `count` accesses drawn uniformly from the three elementary kinds,
+  /// each of (approximately, subtree sizes are rounded to 2^t - 1) size K.
+  [[nodiscard]] static Workload mixed(const CompleteBinaryTree& tree,
+                                      std::uint64_t K, std::size_t count,
+                                      std::uint64_t seed);
+
+  /// `count` random composite C(D, c) accesses.
+  [[nodiscard]] static Workload composites(const CompleteBinaryTree& tree,
+                                           std::uint64_t D, std::uint64_t c,
+                                           std::size_t count, std::uint64_t seed);
+
+  /// `count` B-tree style range queries over uniformly random leaf
+  /// intervals of width at most `max_width` (full node set: subtree cover
+  /// plus boundary search paths).
+  [[nodiscard]] static Workload range_queries(const CompleteBinaryTree& tree,
+                                              std::uint64_t max_width,
+                                              std::size_t count,
+                                              std::uint64_t seed);
+
+ private:
+  std::vector<Access> accesses_;
+};
+
+}  // namespace pmtree

@@ -1,0 +1,161 @@
+// Mappings of complete q-ary trees onto parallel memory modules.
+//
+// The binary COLOR construction does not transfer directly (its block
+// copy step matches 2^{k-1} block slots against the 2^{k-1}-1 non-leaf
+// nodes of a sibling subtree — an identity special to q = 2; the q-ary
+// constructions of refs [6], [7], [9] use different machinery). What this
+// module provides:
+//
+//   * QaryLevelModMapping — color = level mod M: conflict-free on every
+//     ascending path of up to M nodes, for any arity (the generic path
+//     specialist);
+//   * QarySubtreeMapping — color = BFS position within the enclosing
+//     aligned t-level brick, a brick-local rainbow: conflict-free on
+//     aligned t-level subtrees (roots at levels divisible by t) with the
+//     minimal (q^t - 1)/(q - 1) modules, and at most brick-overlap
+//     conflicts elsewhere;
+//   * QaryModuloMapping / QaryRandomMapping — baselines.
+//
+// Plus exhaustive family evaluation mirroring the binary analysis layer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "pmtree/qary/qary_templates.hpp"
+#include "pmtree/qary/qary_tree.hpp"
+#include "pmtree/util/rng.hpp"
+
+namespace pmtree {
+
+using QaryColor = std::uint32_t;
+
+class QaryMapping {
+ public:
+  explicit QaryMapping(QaryTree tree) noexcept : tree_(tree) {}
+  virtual ~QaryMapping() = default;
+
+  QaryMapping(const QaryMapping&) = default;
+  QaryMapping& operator=(const QaryMapping&) = delete;
+
+  [[nodiscard]] virtual QaryColor color_of(QaryNode n) const = 0;
+  [[nodiscard]] virtual std::uint32_t num_modules() const noexcept = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] const QaryTree& tree() const noexcept { return tree_; }
+
+ private:
+  QaryTree tree_;
+};
+
+/// color = level mod M: CF on ascending paths of <= M nodes, any arity.
+class QaryLevelModMapping final : public QaryMapping {
+ public:
+  QaryLevelModMapping(QaryTree tree, std::uint32_t M)
+      : QaryMapping(tree), M_(M) {}
+
+  [[nodiscard]] QaryColor color_of(QaryNode n) const override {
+    return static_cast<QaryColor>(n.level % M_);
+  }
+  [[nodiscard]] std::uint32_t num_modules() const noexcept override { return M_; }
+  [[nodiscard]] std::string name() const override {
+    return "QARY-LEVEL-MOD(M=" + std::to_string(M_) + ")";
+  }
+
+ private:
+  std::uint32_t M_;
+};
+
+/// Brick coloring: the tree is tiled by disjoint aligned bricks of
+/// `brick_levels` levels (roots at levels divisible by brick_levels);
+/// each node is colored by its BFS position inside its brick. Every
+/// aligned subtree of up to brick_levels levels is rainbow, using the
+/// minimum possible (q^t - 1)/(q - 1) modules for aligned access.
+class QarySubtreeMapping final : public QaryMapping {
+ public:
+  QarySubtreeMapping(QaryTree tree, std::uint32_t brick_levels)
+      : QaryMapping(tree), t_(brick_levels) {}
+
+  [[nodiscard]] QaryColor color_of(QaryNode n) const override {
+    const QaryTree& tr = tree();
+    const std::uint32_t rel = n.level % t_;
+    // Brick root index: strip rel levels of arity digits.
+    std::uint64_t stripped = n.index;
+    for (std::uint32_t s = 0; s < rel; ++s) stripped /= tr.arity();
+    // Position within the brick: BFS over rel levels.
+    std::uint64_t width = 1;
+    std::uint64_t offset_base = 0;
+    for (std::uint32_t s = 0; s < rel; ++s) {
+      offset_base += width;
+      width *= tr.arity();
+    }
+    std::uint64_t rebuilt = stripped;
+    for (std::uint32_t s = 0; s < rel; ++s) rebuilt *= tr.arity();
+    return static_cast<QaryColor>(offset_base + (n.index - rebuilt));
+  }
+  [[nodiscard]] std::uint32_t num_modules() const noexcept override {
+    return static_cast<std::uint32_t>(tree().subtree_size(t_));
+  }
+  [[nodiscard]] std::string name() const override {
+    return "QARY-BRICK(t=" + std::to_string(t_) + ")";
+  }
+  [[nodiscard]] std::uint32_t brick_levels() const noexcept { return t_; }
+
+ private:
+  std::uint32_t t_;
+};
+
+class QaryModuloMapping final : public QaryMapping {
+ public:
+  QaryModuloMapping(QaryTree tree, std::uint32_t M)
+      : QaryMapping(tree), M_(M) {}
+
+  [[nodiscard]] QaryColor color_of(QaryNode n) const override {
+    return static_cast<QaryColor>(tree().bfs_id(n) % M_);
+  }
+  [[nodiscard]] std::uint32_t num_modules() const noexcept override { return M_; }
+  [[nodiscard]] std::string name() const override {
+    return "QARY-MODULO(M=" + std::to_string(M_) + ")";
+  }
+
+ private:
+  std::uint32_t M_;
+};
+
+class QaryRandomMapping final : public QaryMapping {
+ public:
+  QaryRandomMapping(QaryTree tree, std::uint32_t M, std::uint64_t seed = 1)
+      : QaryMapping(tree), M_(M), seed_(seed) {}
+
+  [[nodiscard]] QaryColor color_of(QaryNode n) const override {
+    return static_cast<QaryColor>(mix64(tree().bfs_id(n) ^ seed_) % M_);
+  }
+  [[nodiscard]] std::uint32_t num_modules() const noexcept override { return M_; }
+  [[nodiscard]] std::string name() const override {
+    return "QARY-RANDOM(M=" + std::to_string(M_) + ")";
+  }
+
+ private:
+  std::uint32_t M_;
+  std::uint64_t seed_;
+};
+
+/// Conflicts of one access.
+[[nodiscard]] std::uint64_t qary_conflicts(const QaryMapping& mapping,
+                                           std::span<const QaryNode> nodes);
+
+/// Exhaustive worst-case conflicts per family.
+[[nodiscard]] std::uint64_t evaluate_qary_subtrees(const QaryMapping& mapping,
+                                                   std::uint32_t levels);
+[[nodiscard]] std::uint64_t evaluate_qary_paths(const QaryMapping& mapping,
+                                                std::uint64_t size);
+[[nodiscard]] std::uint64_t evaluate_qary_level_runs(const QaryMapping& mapping,
+                                                     std::uint64_t size);
+
+/// Same, restricted to *aligned* subtrees (roots at levels divisible by
+/// `align`): the family QarySubtreeMapping serves conflict-free.
+[[nodiscard]] std::uint64_t evaluate_qary_aligned_subtrees(
+    const QaryMapping& mapping, std::uint32_t levels, std::uint32_t align);
+
+}  // namespace pmtree

@@ -1,0 +1,62 @@
+// Template instances and enumerators for complete q-ary trees, mirroring
+// the binary-tree templates module: complete q-ary subtrees (by level
+// count), ascending paths, and same-level runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "pmtree/qary/qary_tree.hpp"
+
+namespace pmtree {
+
+/// Complete q-ary subtree of `levels` levels rooted at `root`.
+struct QarySubtreeInstance {
+  QaryNode root;
+  std::uint32_t levels = 1;
+
+  [[nodiscard]] bool fits(const QaryTree& tree) const noexcept {
+    return tree.contains(root) && root.level + levels <= tree.levels();
+  }
+  [[nodiscard]] std::uint64_t size(const QaryTree& tree) const noexcept {
+    return tree.subtree_size(levels);
+  }
+  [[nodiscard]] std::vector<QaryNode> nodes(const QaryTree& tree) const;
+};
+
+/// Ascending path of `size` nodes starting (deepest) at `start`.
+struct QaryPathInstance {
+  QaryNode start;
+  std::uint64_t size = 1;
+
+  [[nodiscard]] bool fits(const QaryTree& tree) const noexcept {
+    return tree.contains(start) && size <= std::uint64_t{start.level} + 1;
+  }
+  [[nodiscard]] std::vector<QaryNode> nodes(const QaryTree& tree) const;
+};
+
+/// `size` consecutive nodes of one level starting at `first`.
+struct QaryLevelRunInstance {
+  QaryNode first;
+  std::uint64_t size = 1;
+
+  [[nodiscard]] bool fits(const QaryTree& tree) const noexcept {
+    return tree.contains(first) &&
+           first.index + size <= tree.level_width(first.level);
+  }
+  [[nodiscard]] std::vector<QaryNode> nodes(const QaryTree& tree) const;
+};
+
+void for_each_qary_subtree(
+    const QaryTree& tree, std::uint32_t levels,
+    const std::function<bool(const QarySubtreeInstance&)>& visit);
+
+void for_each_qary_path(const QaryTree& tree, std::uint64_t size,
+                        const std::function<bool(const QaryPathInstance&)>& visit);
+
+void for_each_qary_level_run(
+    const QaryTree& tree, std::uint64_t size,
+    const std::function<bool(const QaryLevelRunInstance&)>& visit);
+
+}  // namespace pmtree

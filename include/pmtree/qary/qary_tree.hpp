@@ -1,0 +1,101 @@
+// Complete q-ary trees — the generalized model of the paper's related
+// work (Section 1.2: Das-Pinotti map "t-ary subtrees of a complete k-ary
+// tree" conflict-free; refs [6], [7], [9]).
+//
+// pmtree's main algorithms are binary (the paper's scope). This module
+// provides the q-ary substrate — coordinates, shapes, templates,
+// enumerators and the generic mappings whose guarantees are elementary
+// (level-mod is CF on ascending paths for any arity; modulo/random
+// baselines) — so the library covers the generalized model the companion
+// papers study, without claiming their specialized constructions.
+//
+// Coordinates mirror the binary case: v_q(i, j) is the i-th node
+// (left-to-right) of level j; a node's parent is (i / q, j - 1); its BFS
+// id is (q^j - 1)/(q - 1) + i.
+#pragma once
+
+#include <cassert>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace pmtree {
+
+struct QaryNode {
+  std::uint32_t level = 0;
+  std::uint64_t index = 0;
+
+  friend constexpr bool operator==(const QaryNode&, const QaryNode&) = default;
+  friend constexpr auto operator<=>(const QaryNode&, const QaryNode&) = default;
+};
+
+[[nodiscard]] inline std::string to_string(QaryNode n) {
+  return "v(" + std::to_string(n.index) + ", " + std::to_string(n.level) + ")";
+}
+
+class QaryTree {
+ public:
+  /// A complete q-ary tree (q >= 2) of `levels` levels. Sizes are kept
+  /// within 2^63 by precondition (q^levels bounded).
+  constexpr QaryTree(std::uint32_t q, std::uint32_t levels) noexcept
+      : q_(q), levels_(levels) {
+    assert(q >= 2 && levels >= 1);
+    assert(level_width_checked(levels - 1) > 0);
+  }
+
+  [[nodiscard]] constexpr std::uint32_t arity() const noexcept { return q_; }
+  [[nodiscard]] constexpr std::uint32_t levels() const noexcept { return levels_; }
+
+  /// q^j: nodes at level j.
+  [[nodiscard]] constexpr std::uint64_t level_width(std::uint32_t j) const noexcept {
+    assert(j < levels_);
+    return level_width_checked(j);
+  }
+
+  /// (q^levels - 1) / (q - 1): total nodes.
+  [[nodiscard]] constexpr std::uint64_t size() const noexcept {
+    return (level_width_checked(levels_ - 1) * q_ - 1) / (q_ - 1);
+  }
+
+  /// BFS id of a node: nodes of shallower levels first.
+  [[nodiscard]] constexpr std::uint64_t bfs_id(QaryNode n) const noexcept {
+    return (level_width_checked(n.level) - 1) / (q_ - 1) + n.index;
+  }
+
+  [[nodiscard]] constexpr bool contains(QaryNode n) const noexcept {
+    return n.level < levels_ && n.index < level_width_checked(n.level);
+  }
+
+  [[nodiscard]] constexpr QaryNode parent(QaryNode n) const noexcept {
+    assert(n.level > 0);
+    return QaryNode{n.level - 1, n.index / q_};
+  }
+
+  /// c-th child (0 <= c < q).
+  [[nodiscard]] constexpr QaryNode child(QaryNode n, std::uint32_t c) const noexcept {
+    assert(c < q_);
+    return QaryNode{n.level + 1, n.index * q_ + c};
+  }
+
+  /// Number of nodes of a complete q-ary subtree of `sub_levels` levels.
+  [[nodiscard]] constexpr std::uint64_t subtree_size(std::uint32_t sub_levels) const noexcept {
+    std::uint64_t width = 1, total = 0;
+    for (std::uint32_t j = 0; j < sub_levels; ++j) {
+      total += width;
+      width *= q_;
+    }
+    return total;
+  }
+
+ private:
+  [[nodiscard]] constexpr std::uint64_t level_width_checked(std::uint32_t j) const noexcept {
+    std::uint64_t w = 1;
+    for (std::uint32_t t = 0; t < j; ++t) w *= q_;
+    return w;
+  }
+
+  std::uint32_t q_;
+  std::uint32_t levels_;
+};
+
+}  // namespace pmtree

@@ -1,0 +1,55 @@
+// Exhaustive enumeration of template families (Section 2.1):
+//
+//   S^T(K) — all complete size-K subtrees of T;
+//   L^T(K) — all runs of K consecutive nodes within one level;
+//   P^T(K) — all ascending paths of K nodes.
+//
+// Enumeration drives the exhaustive conflict-cost evaluation used by the
+// theorem-verification tests and benches. Visitors receive lightweight
+// instance descriptors; they may materialize nodes on demand.
+//
+// Counting helpers expose the family sizes in closed form so tests can
+// assert the enumerators are complete.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "pmtree/templates/instance.hpp"
+#include "pmtree/tree/tree.hpp"
+
+namespace pmtree {
+
+/// Visits every instance of S^T(K). Precondition: is_tree_size(K).
+/// Stops early if the visitor returns false.
+void for_each_subtree(const CompleteBinaryTree& tree, std::uint64_t K,
+                      const std::function<bool(const SubtreeInstance&)>& visit);
+
+/// Visits every instance of L^T(K).
+void for_each_level_run(const CompleteBinaryTree& tree, std::uint64_t K,
+                        const std::function<bool(const LevelRunInstance&)>& visit);
+
+/// Visits every instance of P^T(K) (paths of K nodes; the deepest node may
+/// be at any level >= K-1).
+void for_each_path(const CompleteBinaryTree& tree, std::uint64_t K,
+                   const std::function<bool(const PathInstance&)>& visit);
+
+/// Visits every TP_K(i, j) instance for the given j (Lemma 1's family):
+/// the root-to-v(i, j-1) path plus the size-K subtree rooted at v(i, j-1),
+/// truncated at the tree boundary.
+void for_each_tp(const CompleteBinaryTree& tree, std::uint64_t K, std::uint32_t j,
+                 const std::function<bool(const CompositeInstance&)>& visit);
+
+/// |S^T(K)|: number of size-K subtree instances.
+[[nodiscard]] std::uint64_t count_subtrees(const CompleteBinaryTree& tree,
+                                           std::uint64_t K);
+
+/// |L^T(K)|: number of K-node level runs.
+[[nodiscard]] std::uint64_t count_level_runs(const CompleteBinaryTree& tree,
+                                             std::uint64_t K);
+
+/// |P^T(K)|: number of K-node ascending paths.
+[[nodiscard]] std::uint64_t count_paths(const CompleteBinaryTree& tree,
+                                        std::uint64_t K);
+
+}  // namespace pmtree

@@ -1,0 +1,37 @@
+// Range-query decomposition (Section 1.1 of the paper):
+//
+//   "In a B-tree, implemented as a complete tree, a range query means
+//    accessing (in parallel) all the nodes whose keys belong to a given
+//    range; that is, the set of nodes to be accessed can be partitioned
+//    into a composite template consisting of a set of complete subtrees
+//    and a path of cardinality no larger than the height of the B-tree."
+//
+// subtree_cover() computes the canonical (maximal, disjoint) set of
+// complete subtrees whose leaves are exactly the leaf interval [lo, hi] —
+// the classic segment-tree decomposition, at most 2*(levels-1) subtrees.
+//
+// range_query_template() additionally includes the search paths: the
+// ancestors of the boundary subtrees that a top-down range search visits,
+// expressed as at most two disjoint ascending P-template instances.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pmtree/templates/instance.hpp"
+#include "pmtree/tree/tree.hpp"
+
+namespace pmtree {
+
+/// Maximal disjoint complete subtrees covering exactly leaves [lo, hi]
+/// (inclusive leaf indices, lo <= hi < tree.num_leaves()).
+[[nodiscard]] std::vector<SubtreeInstance> subtree_cover(
+    const CompleteBinaryTree& tree, std::uint64_t lo, std::uint64_t hi);
+
+/// The full range-query composite template: the subtree cover plus the
+/// (up to two) ascending paths of internal nodes visited while locating
+/// the boundaries. All components are pairwise disjoint.
+[[nodiscard]] CompositeInstance range_query_template(
+    const CompleteBinaryTree& tree, std::uint64_t lo, std::uint64_t hi);
+
+}  // namespace pmtree

@@ -1,0 +1,85 @@
+// Block arithmetic (Section 3.1 of the paper).
+//
+// For a chosen subtree-template parameter k (template size K = 2^k - 1),
+// each level j >= k of a tree is partitioned into 2^{j-k+1} blocks of
+// 2^{k-1} consecutive nodes:
+//
+//     block(h, j) = { v(i, j) : h*2^{k-1} <= i < (h+1)*2^{k-1} }.
+//
+// block(h, j) is exactly the set of leaves of the size-K subtree rooted at
+// v(h, j-k+1); the (k-1)-st ancestor of its nodes is that root. These
+// relations drive both BASIC-COLOR and MICRO-LABEL.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "pmtree/tree/node.hpp"
+#include "pmtree/util/bits.hpp"
+
+namespace pmtree {
+
+/// Geometry of the level-j block partition for subtree parameter k >= 1.
+struct BlockScheme {
+  std::uint32_t k;  ///< subtree parameter; block size is 2^{k-1}
+
+  [[nodiscard]] constexpr std::uint64_t block_size() const noexcept {
+    return pow2(k - 1);
+  }
+
+  /// Number of blocks at level j (levels j >= k are partitioned).
+  [[nodiscard]] constexpr std::uint64_t blocks_at_level(std::uint32_t j) const noexcept {
+    assert(j + 1 >= k);
+    return pow2(j - k + 1);
+  }
+
+  /// The block number h that contains node v(i, j).
+  [[nodiscard]] constexpr std::uint64_t block_of(Node n) const noexcept {
+    return n.index >> (k - 1);
+  }
+
+  /// Position of node v(i, j) inside its block: 0 .. 2^{k-1}-1.
+  [[nodiscard]] constexpr std::uint64_t position_in_block(Node n) const noexcept {
+    return n.index & (pow2(k - 1) - 1);
+  }
+
+  /// True iff the node is the last node of its block (the one BASIC-COLOR
+  /// assigns a fresh Gamma color to).
+  [[nodiscard]] constexpr bool is_block_last(Node n) const noexcept {
+    return position_in_block(n) == block_size() - 1;
+  }
+
+  /// The t-th node of block(h, j).
+  [[nodiscard]] constexpr Node block_node(std::uint64_t h, std::uint32_t j,
+                                          std::uint64_t t) const noexcept {
+    assert(t < block_size());
+    return Node{j, h * block_size() + t};
+  }
+
+  /// Root of the size-K subtree whose leaves form block(h, j):
+  /// v(h, j-k+1) — the (k-1)-st ancestor of the block's nodes.
+  [[nodiscard]] constexpr Node block_root(std::uint64_t h, std::uint32_t j) const noexcept {
+    assert(j + 1 >= k);
+    return Node{j - k + 1, h};
+  }
+};
+
+/// Position of a node within a subtree in level order (BFS): the root of
+/// the subtree has position 0. Precondition: n lies in the subtree.
+[[nodiscard]] constexpr std::uint64_t bfs_position_in_subtree(Node n,
+                                                              Node root) noexcept {
+  assert(n.level >= root.level);
+  const std::uint32_t depth = n.level - root.level;
+  const std::uint64_t offset = n.index - (root.index << depth);
+  assert(offset < pow2(depth));
+  return pow2(depth) - 1 + offset;
+}
+
+/// Inverse: the node at BFS position `pos` of the subtree rooted at `root`.
+[[nodiscard]] constexpr Node subtree_node_at(Node root, std::uint64_t pos) noexcept {
+  const std::uint32_t depth = floor_log2(pos + 1);
+  const std::uint64_t offset = pos + 1 - pow2(depth);
+  return Node{root.level + depth, (root.index << depth) + offset};
+}
+
+}  // namespace pmtree

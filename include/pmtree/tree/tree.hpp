@@ -1,0 +1,70 @@
+// CompleteBinaryTree: the value-type description of the tree under study.
+//
+// The tree is never materialized; it is a shape (number of levels) against
+// which nodes, templates and mappings are validated. Following the paper we
+// write `levels` for the number of levels (root level 0 .. levels-1), so a
+// tree with L levels has 2^L - 1 nodes and its leaf-to-root paths are
+// P-template instances of size L.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "pmtree/tree/node.hpp"
+#include "pmtree/util/bits.hpp"
+
+namespace pmtree {
+
+class CompleteBinaryTree {
+ public:
+  /// A tree with `levels` levels (1 <= levels <= 60).
+  constexpr explicit CompleteBinaryTree(std::uint32_t levels) noexcept
+      : levels_(levels) {
+    assert(levels >= 1 && levels <= 60);
+  }
+
+  [[nodiscard]] constexpr std::uint32_t levels() const noexcept { return levels_; }
+
+  /// Height in the edge-count sense: levels - 1.
+  [[nodiscard]] constexpr std::uint32_t height() const noexcept {
+    return levels_ - 1;
+  }
+
+  /// Total number of nodes: 2^levels - 1.
+  [[nodiscard]] constexpr std::uint64_t size() const noexcept {
+    return tree_size(levels_);
+  }
+
+  /// Number of nodes at level j.
+  [[nodiscard]] constexpr std::uint64_t level_width(std::uint32_t j) const noexcept {
+    assert(j < levels_);
+    return pow2(j);
+  }
+
+  [[nodiscard]] constexpr bool contains(Node n) const noexcept {
+    return n.level < levels_ && n.index < pow2(n.level);
+  }
+
+  [[nodiscard]] constexpr Node root() const noexcept { return Node{0, 0}; }
+
+  /// First leaf (leftmost node of the last level).
+  [[nodiscard]] constexpr Node first_leaf() const noexcept {
+    return Node{levels_ - 1, 0};
+  }
+
+  [[nodiscard]] constexpr std::uint64_t num_leaves() const noexcept {
+    return pow2(levels_ - 1);
+  }
+
+  [[nodiscard]] constexpr bool is_leaf(Node n) const noexcept {
+    return n.level == levels_ - 1;
+  }
+
+  friend constexpr bool operator==(const CompleteBinaryTree&,
+                                   const CompleteBinaryTree&) = default;
+
+ private:
+  std::uint32_t levels_;
+};
+
+}  // namespace pmtree

@@ -1,0 +1,64 @@
+// Bit-manipulation helpers used throughout pmtree.
+//
+// The paper's index arithmetic is entirely powers-of-two based: template
+// sizes are K = 2^k - 1, blocks have size 2^{k-1}, node indices within a
+// level are split by shifts. These helpers centralize that arithmetic with
+// well-defined behaviour at the boundaries (0, 1, 2^63).
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace pmtree {
+
+/// 2^e as a 64-bit value. Precondition: e < 64.
+[[nodiscard]] constexpr std::uint64_t pow2(std::uint32_t e) noexcept {
+  assert(e < 64);
+  return std::uint64_t{1} << e;
+}
+
+/// floor(log2(x)). Precondition: x > 0.
+[[nodiscard]] constexpr std::uint32_t floor_log2(std::uint64_t x) noexcept {
+  assert(x > 0);
+  return static_cast<std::uint32_t>(63 - std::countl_zero(x));
+}
+
+/// ceil(log2(x)). Precondition: x > 0. ceil_log2(1) == 0.
+[[nodiscard]] constexpr std::uint32_t ceil_log2(std::uint64_t x) noexcept {
+  assert(x > 0);
+  return x == 1 ? 0 : floor_log2(x - 1) + 1;
+}
+
+/// True iff x is a power of two (x > 0).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && std::has_single_bit(x);
+}
+
+/// True iff x == 2^t - 1 for some t >= 1, i.e. x is a valid complete-tree
+/// (and S-template) size.
+[[nodiscard]] constexpr bool is_tree_size(std::uint64_t x) noexcept {
+  return x != 0 && is_pow2(x + 1);
+}
+
+/// Number of levels of a complete binary tree of `size` nodes.
+/// Precondition: is_tree_size(size). tree_levels(1) == 1, tree_levels(7) == 3.
+[[nodiscard]] constexpr std::uint32_t tree_levels(std::uint64_t size) noexcept {
+  assert(is_tree_size(size));
+  return floor_log2(size + 1);
+}
+
+/// Number of nodes of a complete binary tree with `levels` levels:
+/// 2^levels - 1. Precondition: 1 <= levels <= 63.
+[[nodiscard]] constexpr std::uint64_t tree_size(std::uint32_t levels) noexcept {
+  assert(levels >= 1 && levels <= 63);
+  return pow2(levels) - 1;
+}
+
+/// ceil(a / b) for b > 0.
+[[nodiscard]] constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  assert(b > 0);
+  return (a + b - 1) / b;
+}
+
+}  // namespace pmtree

@@ -1,0 +1,69 @@
+// Deterministic, fast pseudo-random number generation for workload
+// generators, samplers and the randomized baseline mapping.
+//
+// SplitMix64 is used both as a seeding/stateless hash (RandomMapping needs
+// a pure function of the node id) and as the state-advance of the stream
+// generator. It passes BigCrush-level statistics for these purposes and,
+// unlike std::mt19937_64, gives identical streams across standard library
+// implementations — benches and tests rely on that reproducibility.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pmtree {
+
+/// Stateless SplitMix64 finalizer: a high-quality 64-bit mixing function.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Small deterministic PRNG (SplitMix64 stream). Satisfies the parts of
+/// UniformRandomBitGenerator that pmtree needs.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept
+      : state_(seed) {}
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound). Precondition: bound > 0.
+  /// Uses Lemire's multiply-shift rejection-free approximation, which is
+  /// unbiased enough for workload generation (bias < 2^-64 * bound).
+  [[nodiscard]] constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    __extension__ using u128 = unsigned __int128;
+    return static_cast<std::uint64_t>((static_cast<u128>(operator()()) * bound) >> 64);
+  }
+
+  /// Uniform value in [lo, hi] inclusive. Precondition: lo <= hi.
+  [[nodiscard]] constexpr std::uint64_t between(std::uint64_t lo,
+                                                std::uint64_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Bernoulli trial with probability num/den. Precondition: den > 0.
+  [[nodiscard]] constexpr bool chance(std::uint64_t num, std::uint64_t den) noexcept {
+    return below(den) < num;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace pmtree

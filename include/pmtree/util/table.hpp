@@ -1,0 +1,64 @@
+// Minimal fixed-column ASCII table writer used by the benchmark harness to
+// regenerate the paper's result tables in a uniform format.
+//
+// The writer is deliberately dumb: every cell is a string, column widths are
+// computed from content, output is plain text so bench logs diff cleanly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace pmtree {
+
+class TableWriter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TableWriter(std::vector<std::string> headers);
+
+  /// Appends a row; the row must have exactly as many cells as headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic cells via std::to_string.
+  template <typename... Ts>
+  void row(const Ts&... cells) {
+    std::vector<std::string> r;
+    r.reserve(sizeof...(Ts));
+    (r.push_back(to_cell(cells)), ...);
+    add_row(std::move(r));
+  }
+
+  /// Renders the table (header, separator, rows) to `os`.
+  void print(std::ostream& os) const;
+
+  /// Renders to a string.
+  [[nodiscard]] std::string str() const;
+
+  /// Renders as CSV (RFC-4180 quoting for cells containing commas,
+  /// quotes or newlines), header first.
+  void print_csv(std::ostream& os) const;
+  [[nodiscard]] std::string csv() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(bool b) { return b ? "yes" : "no"; }
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    if constexpr (std::is_floating_point_v<T>) {
+      return format_double(static_cast<double>(v));
+    } else {
+      return std::to_string(v);
+    }
+  }
+  static std::string format_double(double v);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pmtree

@@ -1,0 +1,17 @@
+#include "pmtree/analysis/bounds.hpp"
+
+#include <cmath>
+
+namespace pmtree::bounds {
+
+double label_tree_m_scale(std::uint64_t M) {
+  const double logm = static_cast<double>(ceil_log2(M));
+  return std::sqrt(static_cast<double>(M) / logm);
+}
+
+double label_tree_d_scale(std::uint64_t D, std::uint64_t M) {
+  const double logm = static_cast<double>(ceil_log2(M));
+  return static_cast<double>(D) / std::sqrt(static_cast<double>(M) * logm);
+}
+
+}  // namespace pmtree::bounds

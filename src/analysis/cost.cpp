@@ -1,0 +1,154 @@
+#include "pmtree/analysis/cost.hpp"
+
+#include <algorithm>
+
+#include "pmtree/templates/enumerate.hpp"
+#include "pmtree/templates/sampler.hpp"
+
+namespace pmtree {
+
+namespace {
+
+/// Max color multiplicity of the node set, via a small scratch histogram.
+std::uint64_t max_multiplicity(const TreeMapping& mapping,
+                               std::span<const Node> nodes,
+                               std::vector<std::uint32_t>& histogram) {
+  histogram.assign(mapping.num_modules(), 0);
+  std::uint32_t worst = 0;
+  for (const Node& n : nodes) {
+    const Color c = mapping.color_of(n);
+    worst = std::max(worst, ++histogram[c]);
+  }
+  return worst;
+}
+
+/// Shared accumulation loop for the evaluate_/sample_ functions.
+class CostAccumulator {
+ public:
+  explicit CostAccumulator(const TreeMapping& mapping) : mapping_(mapping) {}
+
+  void observe(std::vector<Node> nodes) {
+    const std::uint64_t mult = max_multiplicity(mapping_, nodes, scratch_);
+    const std::uint64_t cost = mult == 0 ? 0 : mult - 1;
+    result_.instances += 1;
+    sum_ += cost;
+    if (result_.witness.empty() || cost > result_.max_conflicts) {
+      result_.witness = std::move(nodes);
+    }
+    result_.max_conflicts = std::max(result_.max_conflicts, cost);
+  }
+
+  [[nodiscard]] FamilyCost take() {
+    result_.mean_conflicts =
+        result_.instances == 0
+            ? 0.0
+            : static_cast<double>(sum_) / static_cast<double>(result_.instances);
+    return std::move(result_);
+  }
+
+ private:
+  const TreeMapping& mapping_;
+  std::vector<std::uint32_t> scratch_;
+  FamilyCost result_;
+  std::uint64_t sum_ = 0;
+};
+
+}  // namespace
+
+std::uint64_t conflicts(const TreeMapping& mapping, std::span<const Node> nodes) {
+  std::vector<std::uint32_t> histogram;
+  const std::uint64_t mult = max_multiplicity(mapping, nodes, histogram);
+  return mult == 0 ? 0 : mult - 1;
+}
+
+std::uint64_t rounds(const TreeMapping& mapping, std::span<const Node> nodes) {
+  std::vector<std::uint32_t> histogram;
+  return max_multiplicity(mapping, nodes, histogram);
+}
+
+FamilyCost evaluate_subtrees(const TreeMapping& mapping, std::uint64_t K) {
+  CostAccumulator acc(mapping);
+  for_each_subtree(mapping.tree(), K, [&](const SubtreeInstance& s) {
+    acc.observe(s.nodes());
+    return true;
+  });
+  return acc.take();
+}
+
+FamilyCost evaluate_level_runs(const TreeMapping& mapping, std::uint64_t K) {
+  CostAccumulator acc(mapping);
+  for_each_level_run(mapping.tree(), K, [&](const LevelRunInstance& l) {
+    acc.observe(l.nodes());
+    return true;
+  });
+  return acc.take();
+}
+
+FamilyCost evaluate_paths(const TreeMapping& mapping, std::uint64_t K) {
+  CostAccumulator acc(mapping);
+  for_each_path(mapping.tree(), K, [&](const PathInstance& p) {
+    acc.observe(p.nodes());
+    return true;
+  });
+  return acc.take();
+}
+
+FamilyCost evaluate_tp(const TreeMapping& mapping, std::uint64_t K) {
+  CostAccumulator acc(mapping);
+  for (std::uint32_t j = 1; j <= mapping.tree().levels(); ++j) {
+    for_each_tp(mapping.tree(), K, j, [&](const CompositeInstance& tp) {
+      acc.observe(tp.nodes());
+      return true;
+    });
+  }
+  return acc.take();
+}
+
+FamilyCost sample_subtrees(const TreeMapping& mapping, std::uint64_t K,
+                           std::uint64_t samples, Rng& rng) {
+  CostAccumulator acc(mapping);
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    if (auto inst = sample_subtree(mapping.tree(), K, rng)) {
+      acc.observe(inst->nodes());
+    }
+  }
+  return acc.take();
+}
+
+FamilyCost sample_level_runs(const TreeMapping& mapping, std::uint64_t K,
+                             std::uint64_t samples, Rng& rng) {
+  CostAccumulator acc(mapping);
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    if (auto inst = sample_level_run(mapping.tree(), K, rng)) {
+      acc.observe(inst->nodes());
+    }
+  }
+  return acc.take();
+}
+
+FamilyCost sample_paths(const TreeMapping& mapping, std::uint64_t K,
+                        std::uint64_t samples, Rng& rng) {
+  CostAccumulator acc(mapping);
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    if (auto inst = sample_path(mapping.tree(), K, rng)) {
+      acc.observe(inst->nodes());
+    }
+  }
+  return acc.take();
+}
+
+FamilyCost sample_composites(const TreeMapping& mapping, std::uint64_t D,
+                             std::uint64_t c, std::uint64_t samples, Rng& rng) {
+  CostAccumulator acc(mapping);
+  CompositeSpec spec;
+  spec.total_size = D;
+  spec.components = c;
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    if (auto inst = sample_composite(mapping.tree(), spec, rng)) {
+      acc.observe(inst->nodes());
+    }
+  }
+  return acc.take();
+}
+
+}  // namespace pmtree

@@ -1,0 +1,30 @@
+#include "pmtree/analysis/load_balance.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace pmtree {
+
+LoadBalanceReport load_balance(const TreeMapping& mapping) {
+  LoadBalanceReport report;
+  report.per_module.assign(mapping.num_modules(), 0);
+  const auto& tree = mapping.tree();
+  for (std::uint32_t j = 0; j < tree.levels(); ++j) {
+    for (std::uint64_t i = 0; i < tree.level_width(j); ++i) {
+      report.per_module[mapping.color_of(v(i, j))] += 1;
+    }
+  }
+  report.max_load = *std::max_element(report.per_module.begin(),
+                                      report.per_module.end());
+  std::uint64_t min_nonzero = std::numeric_limits<std::uint64_t>::max();
+  for (const auto load : report.per_module) {
+    if (load > 0) {
+      min_nonzero = std::min(min_nonzero, load);
+      report.used_modules += 1;
+    }
+  }
+  report.min_load = report.used_modules == 0 ? 0 : min_nonzero;
+  return report;
+}
+
+}  // namespace pmtree

@@ -1,0 +1,79 @@
+#include "pmtree/analysis/profile.hpp"
+
+#include <algorithm>
+
+#include "pmtree/analysis/cost.hpp"
+#include "pmtree/templates/enumerate.hpp"
+#include "pmtree/util/bits.hpp"
+
+namespace pmtree {
+
+std::vector<std::uint64_t> level_color_histogram(const TreeMapping& mapping,
+                                                 std::uint32_t j) {
+  std::vector<std::uint64_t> histogram(mapping.num_modules(), 0);
+  for (std::uint64_t i = 0; i < mapping.tree().level_width(j); ++i) {
+    histogram[mapping.color_of(v(i, j))] += 1;
+  }
+  return histogram;
+}
+
+namespace {
+
+LevelProfile make_profile(const TreeMapping& mapping) {
+  LevelProfile profile;
+  profile.worst_by_level.assign(mapping.tree().levels(), 0);
+  return profile;
+}
+
+void bump(LevelProfile& profile, std::uint32_t level, std::uint64_t cost) {
+  profile.worst_by_level[level] = std::max(profile.worst_by_level[level], cost);
+  profile.overall = std::max(profile.overall, cost);
+}
+
+}  // namespace
+
+LevelProfile subtree_profile(const TreeMapping& mapping, std::uint64_t K) {
+  LevelProfile profile = make_profile(mapping);
+  for_each_subtree(mapping.tree(), K, [&](const SubtreeInstance& s) {
+    bump(profile, s.root.level, conflicts(mapping, s.nodes()));
+    return true;
+  });
+  return profile;
+}
+
+LevelProfile level_run_profile(const TreeMapping& mapping, std::uint64_t K) {
+  LevelProfile profile = make_profile(mapping);
+  for_each_level_run(mapping.tree(), K, [&](const LevelRunInstance& l) {
+    bump(profile, l.first.level, conflicts(mapping, l.nodes()));
+    return true;
+  });
+  return profile;
+}
+
+LevelProfile path_profile(const TreeMapping& mapping, std::uint64_t K) {
+  LevelProfile profile = make_profile(mapping);
+  for_each_path(mapping.tree(), K, [&](const PathInstance& p) {
+    bump(profile, p.start.level, conflicts(mapping, p.nodes()));
+    return true;
+  });
+  return profile;
+}
+
+std::vector<ColorUsage> color_report(const TreeMapping& mapping) {
+  std::vector<ColorUsage> report(mapping.num_modules());
+  const auto& tree = mapping.tree();
+  for (std::uint32_t j = 0; j < tree.levels(); ++j) {
+    for (std::uint64_t i = 0; i < tree.level_width(j); ++i) {
+      ColorUsage& usage = report[mapping.color_of(v(i, j))];
+      if (!usage.used) {
+        usage.first_level = j;
+        usage.used = true;
+      }
+      usage.last_level = j;
+      usage.nodes += 1;
+    }
+  }
+  return report;
+}
+
+}  // namespace pmtree

@@ -1,0 +1,60 @@
+#include "pmtree/apps/dictionary.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "pmtree/util/bits.hpp"
+
+namespace pmtree {
+
+std::uint64_t Dictionary::inorder_rank(Node n, std::uint32_t levels) noexcept {
+  assert(n.level < levels);
+  // In the in-order traversal of a complete tree, node (i, j) sits exactly
+  // in the middle of its subtree's key interval: rank = (2i+1)*2^{L-1-j}-1.
+  return (2 * n.index + 1) * pow2(levels - 1 - n.level) - 1;
+}
+
+Dictionary::Dictionary(const std::vector<Key>& sorted_keys)
+    : tree_(tree_levels(sorted_keys.size())), keys_(sorted_keys.size()) {
+  assert(is_tree_size(sorted_keys.size()));
+  assert(std::is_sorted(sorted_keys.begin(), sorted_keys.end()));
+  for (std::uint32_t j = 0; j < tree_.levels(); ++j) {
+    for (std::uint64_t i = 0; i < tree_.level_width(j); ++i) {
+      const Node n = v(i, j);
+      keys_[bfs_id(n)] = sorted_keys[inorder_rank(n, tree_.levels())];
+    }
+  }
+}
+
+Dictionary::SearchResult Dictionary::search(Key key) const {
+  SearchResult result;
+  result.accessed.reserve(tree_.levels());
+  Node cur = tree_.root();
+  while (true) {
+    result.accessed.push_back(cur);
+    const Key here = key_at(cur);
+    if (here == key && !result.found) {
+      result.found = true;
+      result.node = cur;
+    }
+    if (tree_.is_leaf(cur)) break;
+    // The speculative parallel search fetches the whole path; descend by
+    // comparison (ties go left so the walk is deterministic).
+    cur = key < here ? left_child(cur) : right_child(cur);
+  }
+  return result;
+}
+
+std::optional<Dictionary::Key> Dictionary::successor(Key key) const {
+  std::optional<Key> best;
+  Node cur = tree_.root();
+  while (true) {
+    const Key here = key_at(cur);
+    if (here >= key && (!best || here < *best)) best = here;
+    if (tree_.is_leaf(cur)) break;
+    cur = key <= here ? left_child(cur) : right_child(cur);
+  }
+  return best;
+}
+
+}  // namespace pmtree

@@ -1,0 +1,102 @@
+#include "pmtree/apps/parallel_heap.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace pmtree {
+
+ParallelHeap::ParallelHeap(std::uint32_t levels)
+    : tree_(levels), keys_(tree_.size()) {}
+
+ParallelHeap ParallelHeap::from_keys(std::uint32_t levels,
+                                     const std::vector<Key>& keys) {
+  ParallelHeap heap(levels);
+  assert(keys.size() <= heap.capacity());
+  std::copy(keys.begin(), keys.end(), heap.keys_.begin());
+  heap.size_ = keys.size();
+  if (heap.size_ > 1) {
+    for (std::uint64_t pos = heap.size_ / 2; pos-- > 0;) {
+      heap.sift_down(pos);
+    }
+  }
+  return heap;
+}
+
+std::optional<ParallelHeap::Key> ParallelHeap::min() const noexcept {
+  if (size_ == 0) return std::nullopt;
+  return keys_[0];
+}
+
+std::vector<Node> ParallelHeap::root_path(std::uint64_t pos) const {
+  const Node start = node_at(pos);
+  std::vector<Node> path;
+  path.reserve(start.level + 1);
+  Node cur = start;
+  while (true) {
+    path.push_back(cur);
+    if (cur.level == 0) break;
+    cur = parent(cur);
+  }
+  return path;
+}
+
+void ParallelHeap::sift_up(std::uint64_t pos) {
+  while (pos > 0) {
+    const std::uint64_t up = (pos - 1) / 2;
+    if (keys_[up] <= keys_[pos]) break;
+    std::swap(keys_[up], keys_[pos]);
+    pos = up;
+  }
+}
+
+void ParallelHeap::sift_down(std::uint64_t pos) {
+  while (true) {
+    const std::uint64_t left = 2 * pos + 1;
+    const std::uint64_t right = left + 1;
+    std::uint64_t smallest = pos;
+    if (left < size_ && keys_[left] < keys_[smallest]) smallest = left;
+    if (right < size_ && keys_[right] < keys_[smallest]) smallest = right;
+    if (smallest == pos) break;
+    std::swap(keys_[pos], keys_[smallest]);
+    pos = smallest;
+  }
+}
+
+std::vector<Node> ParallelHeap::insert(Key key) {
+  assert(size_ < capacity());
+  const std::uint64_t pos = size_;
+  keys_[pos] = key;
+  size_ += 1;
+  sift_up(pos);
+  return root_path(pos);
+}
+
+std::vector<Node> ParallelHeap::decrease_key(std::uint64_t pos, Key new_key) {
+  assert(pos < size_);
+  assert(new_key <= keys_[pos]);
+  keys_[pos] = new_key;
+  sift_up(pos);
+  return root_path(pos);
+}
+
+std::vector<Node> ParallelHeap::extract_min(Key* out) {
+  assert(size_ > 0 && out != nullptr);
+  *out = keys_[0];
+  const std::uint64_t last = size_ - 1;
+  keys_[0] = keys_[last];
+  size_ -= 1;
+  if (size_ > 0) sift_down(0);
+  // The parallel algorithm reads the whole leaf-to-root path of the slot
+  // vacated by the replacement key (paper refs [9], [14]).
+  return root_path(last);
+}
+
+bool ParallelHeap::is_valid_heap() const noexcept {
+  for (std::uint64_t pos = 1; pos < size_; ++pos) {
+    if (keys_[(pos - 1) / 2] > keys_[pos]) return false;
+  }
+  return true;
+}
+
+}  // namespace pmtree

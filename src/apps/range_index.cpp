@@ -1,0 +1,69 @@
+#include "pmtree/apps/range_index.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "pmtree/templates/range_cover.hpp"
+#include "pmtree/util/bits.hpp"
+
+namespace pmtree {
+
+namespace {
+
+std::uint32_t levels_for(std::uint64_t keys) {
+  // Leaves must number a power of two >= keys; one key still needs a
+  // 1-level tree.
+  const std::uint32_t leaf_bits = keys <= 1 ? 0 : ceil_log2(keys);
+  return leaf_bits + 1;
+}
+
+}  // namespace
+
+RangeIndex::RangeIndex(std::vector<Key> sorted_keys)
+    : tree_(levels_for(sorted_keys.size())),
+      values_(tree_.size(), kSentinel),
+      key_count_(sorted_keys.size()) {
+  assert(!sorted_keys.empty());
+  assert(std::is_sorted(sorted_keys.begin(), sorted_keys.end()));
+
+  const std::uint64_t leaf_first = pow2(tree_.levels() - 1) - 1;
+  for (std::uint64_t i = 0; i < sorted_keys.size(); ++i) {
+    values_[leaf_first + i] = sorted_keys[i];
+  }
+  // Internal nodes bottom-up: max key of the left subtree. With sentinel
+  // padding this is simply the maximum value in the left child's subtree,
+  // capped at the largest real key (sentinels only appear to the right of
+  // all real keys, so max-of-left is correct for routing).
+  for (std::uint64_t id = leaf_first; id-- > 0;) {
+    // Max of left subtree = value of the rightmost leaf of the left child.
+    Node cur = left_child(node_at(id));
+    while (!tree_.is_leaf(cur)) cur = right_child(cur);
+    values_[id] = values_[bfs_id(cur)];
+  }
+}
+
+RangeIndex::Key RangeIndex::value_at(Node n) const noexcept {
+  return values_[bfs_id(n)];
+}
+
+RangeIndex::QueryResult RangeIndex::query(Key lo, Key hi) const {
+  QueryResult result;
+  if (lo > hi || key_count_ == 0) return result;
+
+  const std::uint64_t leaf_first = pow2(tree_.levels() - 1) - 1;
+  const auto begin = values_.begin() + static_cast<std::ptrdiff_t>(leaf_first);
+  const auto end = begin + static_cast<std::ptrdiff_t>(key_count_);
+  const auto lo_it = std::lower_bound(begin, end, lo);
+  const auto hi_it = std::upper_bound(begin, end, hi);
+  if (lo_it == hi_it) return result;  // empty range
+
+  const auto lo_idx = static_cast<std::uint64_t>(lo_it - begin);
+  const auto hi_idx = static_cast<std::uint64_t>(hi_it - begin) - 1;
+
+  result.keys.assign(lo_it, hi_it);
+  result.decomposition = range_query_template(tree_, lo_idx, hi_idx);
+  result.accessed = result.decomposition.nodes();
+  return result;
+}
+
+}  // namespace pmtree

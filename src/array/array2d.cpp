@@ -1,0 +1,48 @@
+#include "pmtree/array/array2d.hpp"
+
+namespace pmtree {
+
+bool RunInstance::fits(const Array2D& array) const noexcept {
+  if (!array.contains(start) || size == 0) return false;
+  const std::uint64_t last = size - 1;
+  switch (direction) {
+    case RunDirection::kRow:
+      return start.col + last < array.cols();
+    case RunDirection::kColumn:
+      return start.row + last < array.rows();
+    case RunDirection::kDiagonal:
+      return start.row + last < array.rows() && start.col + last < array.cols();
+    case RunDirection::kAntiDiagonal:
+      return start.row + last < array.rows() && start.col >= last;
+  }
+  return false;
+}
+
+std::vector<Cell> RunInstance::cells() const {
+  std::vector<Cell> out;
+  out.reserve(size);
+  Cell cur = start;
+  for (std::uint64_t t = 0; t < size; ++t) {
+    out.push_back(cur);
+    switch (direction) {
+      case RunDirection::kRow: cur.col += 1; break;
+      case RunDirection::kColumn: cur.row += 1; break;
+      case RunDirection::kDiagonal: cur.row += 1; cur.col += 1; break;
+      case RunDirection::kAntiDiagonal: cur.row += 1; cur.col -= 1; break;
+    }
+  }
+  return out;
+}
+
+std::vector<Cell> SubarrayInstance::cells() const {
+  std::vector<Cell> out;
+  out.reserve(size());
+  for (std::uint64_t dr = 0; dr < height; ++dr) {
+    for (std::uint64_t dc = 0; dc < width; ++dc) {
+      out.push_back(Cell{top_left.row + dr, top_left.col + dc});
+    }
+  }
+  return out;
+}
+
+}  // namespace pmtree

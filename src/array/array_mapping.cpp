@@ -1,0 +1,45 @@
+#include "pmtree/array/array_mapping.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace pmtree {
+
+std::uint64_t array_conflicts(const ArrayMapping& mapping,
+                              std::span<const Cell> cells) {
+  std::vector<std::uint32_t> histogram(mapping.num_modules(), 0);
+  std::uint32_t worst = 0;
+  for (const Cell& c : cells) {
+    worst = std::max(worst, ++histogram[mapping.color_of(c)]);
+  }
+  return worst == 0 ? 0 : worst - 1;
+}
+
+std::uint64_t evaluate_runs(const ArrayMapping& mapping, RunDirection direction,
+                            std::uint64_t K) {
+  const Array2D& array = mapping.array();
+  std::uint64_t worst = 0;
+  for (std::uint64_t r = 0; r < array.rows(); ++r) {
+    for (std::uint64_t c = 0; c < array.cols(); ++c) {
+      const RunInstance run{Cell{r, c}, direction, K};
+      if (!run.fits(array)) continue;
+      worst = std::max(worst, array_conflicts(mapping, run.cells()));
+    }
+  }
+  return worst;
+}
+
+std::uint64_t evaluate_subarrays(const ArrayMapping& mapping, std::uint64_t p,
+                                 std::uint64_t q) {
+  const Array2D& array = mapping.array();
+  std::uint64_t worst = 0;
+  for (std::uint64_t r = 0; r + p <= array.rows(); ++r) {
+    for (std::uint64_t c = 0; c + q <= array.cols(); ++c) {
+      const SubarrayInstance block{Cell{r, c}, p, q};
+      worst = std::max(worst, array_conflicts(mapping, block.cells()));
+    }
+  }
+  return worst;
+}
+
+}  // namespace pmtree

@@ -1,0 +1,77 @@
+#include "pmtree/binomial/binomial_tree.hpp"
+
+#include <algorithm>
+
+namespace pmtree {
+
+std::vector<std::uint64_t> BinomialTree::subtree_nodes(std::uint64_t v,
+                                                       std::uint32_t k) const {
+  assert(contains(v) && k <= rank(v));
+  std::vector<std::uint64_t> out;
+  const std::uint64_t count = std::uint64_t{1} << k;
+  out.reserve(count);
+  for (std::uint64_t off = 0; off < count; ++off) {
+    out.push_back(v + off);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> BinomialTree::root_path(std::uint64_t v) {
+  std::vector<std::uint64_t> out;
+  out.reserve(depth(v) + 1);
+  while (true) {
+    out.push_back(v);
+    if (v == 0) break;
+    v = parent(v);
+  }
+  return out;
+}
+
+void for_each_binomial_subtree(
+    const BinomialTree& tree, std::uint32_t k,
+    const std::function<bool(std::uint64_t)>& visit) {
+  if (k > tree.order()) return;
+  // Maximal B_k instances are rooted exactly at the rank-k nodes (the
+  // root's rank is the tree order, so it is included iff k == order).
+  for (std::uint64_t v = 0; v < tree.size(); ++v) {
+    if (tree.rank(v) == k && !visit(v)) return;
+  }
+}
+
+std::uint64_t binomial_conflicts(const BinomialMapping& mapping,
+                                 std::span<const std::uint64_t> nodes) {
+  std::vector<std::uint32_t> histogram(mapping.num_modules(), 0);
+  std::uint32_t worst = 0;
+  for (const std::uint64_t v : nodes) {
+    worst = std::max(worst, ++histogram[mapping.color_of(v)]);
+  }
+  return worst == 0 ? 0 : worst - 1;
+}
+
+std::uint64_t evaluate_binomial_subtrees(const BinomialMapping& mapping,
+                                         std::uint32_t k) {
+  std::uint64_t worst = 0;
+  for_each_binomial_subtree(mapping.tree(), k, [&](std::uint64_t root) {
+    worst = std::max(worst, binomial_conflicts(
+                                mapping, mapping.tree().subtree_nodes(root, k)));
+    return true;
+  });
+  return worst;
+}
+
+std::uint64_t evaluate_binomial_paths(const BinomialMapping& mapping,
+                                      std::uint64_t size) {
+  std::uint64_t worst = 0;
+  for (std::uint64_t v = 0; v < mapping.tree().size(); ++v) {
+    const auto path = BinomialTree::root_path(v);
+    for (std::size_t start = 0; start + size <= path.size(); ++start) {
+      worst = std::max(
+          worst, binomial_conflicts(
+                     mapping, std::span<const std::uint64_t>(
+                                  path.data() + start, size)));
+    }
+  }
+  return worst;
+}
+
+}  // namespace pmtree

@@ -1,0 +1,197 @@
+#include "pmtree/mapping/color.hpp"
+
+#include <cassert>
+
+namespace pmtree {
+
+namespace {
+
+/// The node whose color is entry t (0-based, top-down for kCorrect) of
+/// Gamma(ib, jb): the list of N-k node colors along the path between the
+/// roots of block (ib, jb) and its parent block. `stride` is N - k.
+[[nodiscard]] Node gamma_node(std::uint64_t ib, std::uint32_t jb, std::uint32_t t,
+                              std::uint32_t stride,
+                              internal::GammaVariant variant) noexcept {
+  assert(jb >= 1 && t < stride);
+  const std::uint32_t parent_root_level = (jb - 1) * stride;
+  switch (variant) {
+    case internal::GammaVariant::kCorrect:
+      // parent-block root .. parent of this block's root, top-down.
+      return Node{parent_root_level + t, ib >> (stride - t)};
+    case internal::GammaVariant::kIncludeChildRoot:
+      // child of parent-block root .. this block's root, top-down.
+      return Node{parent_root_level + 1 + t, ib >> (stride - 1 - t)};
+    case internal::GammaVariant::kReversed:
+      // kCorrect's node set, bottom-up.
+      return Node{parent_root_level + (stride - 1 - t), ib >> (t + 1)};
+  }
+  return Node{};  // unreachable
+}
+
+}  // namespace
+
+ColorMapping::ColorMapping(CompleteBinaryTree tree, std::uint32_t N,
+                           std::uint32_t k, internal::GammaVariant variant,
+                           Retrieval retrieval)
+    : TreeMapping(tree), n_(N), k_(k), variant_(variant), retrieval_(retrieval) {
+  assert(k >= 1 && k <= N);
+  assert(N <= 60);
+  // Trees taller than one block need the block family B(N), which requires
+  // a positive root stride N - k.
+  assert(tree.levels() <= N || N > k);
+
+  if (retrieval_ == Retrieval::kBlockTable) {
+    // PRE-BASIC-COLOR: resolve every block-relative position once. The
+    // chase is position-only, so this one O(2^N) table serves all blocks.
+    const std::uint32_t cap = std::min(n_, tree.levels());
+    block_table_.resize(tree_size(cap));
+    for (std::uint64_t pos = 0; pos < block_table_.size(); ++pos) {
+      const std::uint32_t r = floor_log2(pos + 1);
+      block_table_[pos] = resolve_in_block(r, pos + 1 - pow2(r));
+    }
+  }
+}
+
+std::uint32_t ColorMapping::num_modules() const noexcept {
+  return n_ + static_cast<std::uint32_t>(K()) - k_;
+}
+
+std::string ColorMapping::name() const {
+  return "COLOR(N=" + std::to_string(n_) + ",K=" + std::to_string(K()) + ")" +
+         (retrieval_ == Retrieval::kBlockTable ? "+blocktable" : "");
+}
+
+ColorMapping::Resolution ColorMapping::resolve_in_block(
+    std::uint32_t r, std::uint64_t irel) const noexcept {
+  const std::uint64_t half_block = pow2(k_ - 1);
+  while (r >= k_) {
+    const std::uint64_t h = irel >> (k_ - 1);
+    const std::uint64_t p = irel & (half_block - 1);
+    if (p == half_block - 1) {
+      // Last node of block(h, r): fresh color Gamma[r - k].
+      return Resolution{true, r - k_};
+    }
+    // Inherit the color of the node at BFS position p of the size-K
+    // subtree rooted at the sibling of this block's (k-1)-st ancestor.
+    const std::uint64_t hs = h ^ 1;
+    const std::uint32_t rho = floor_log2(p + 1);
+    const std::uint64_t s = p + 1 - pow2(rho);
+    r = r - k_ + 1 + rho;
+    irel = (hs << rho) + s;
+  }
+  // Landed in the top k levels of the block: BFS position is the source.
+  return Resolution{false, static_cast<std::uint32_t>(pow2(r) - 1 + irel)};
+}
+
+Color ColorMapping::color_of(Node nd) const {
+  assert(tree().contains(nd));
+  const std::uint64_t Kval = K();
+  Node cur = nd;
+  while (true) {
+    if (cur.level < k_) {
+      // Top k levels of the root block: v(i, j) gets color 2^j + i - 1,
+      // i.e. its BFS id (the Sigma phase of BASIC-COLOR).
+      return static_cast<Color>(bfs_id(cur));
+    }
+    const std::uint32_t stride = n_ - k_;
+    const std::uint32_t jb = (cur.level - k_) / stride;
+    const std::uint32_t r = cur.level - jb * stride;  // block-relative level
+    const std::uint64_t ib = cur.index >> r;          // block root index
+    const std::uint64_t irel = cur.index - (ib << r);
+
+    const Resolution res = retrieval_ == Retrieval::kBlockTable
+                               ? block_table_[pow2(r) - 1 + irel]
+                               : resolve_in_block(r, irel);
+    if (res.from_gamma) {
+      if (jb == 0) return static_cast<Color>(Kval + res.value);
+      cur = gamma_node(ib, jb, res.value, stride, variant_);
+    } else {
+      if (jb == 0) return static_cast<Color>(res.value);
+      // The source lies in this block's top k levels, which it shares with
+      // its parent block: continue on the corresponding real tree node.
+      cur = subtree_node_at(Node{jb * stride, ib}, res.value);
+    }
+  }
+}
+
+std::vector<Color> ColorMapping::materialize() const {
+  const std::uint32_t L = tree().levels();
+  const std::uint64_t Kval = K();
+  const std::uint64_t half_block = pow2(k_ - 1);
+  std::vector<Color> col(tree().size());
+
+  // Sigma phase: top k levels of the root block.
+  const std::uint64_t sigma_nodes = tree_size(std::min(k_, L));
+  for (std::uint64_t id = 0; id < sigma_nodes; ++id) {
+    col[id] = static_cast<Color>(id);
+  }
+
+  // BOTTOM phase, level by level; every level j >= k belongs to exactly
+  // one block generation jb with relative level r in [k, N-1].
+  for (std::uint32_t j = k_; j < L; ++j) {
+    const std::uint32_t stride = n_ - k_;
+    const std::uint32_t jb = (j - k_) / stride;
+    const std::uint32_t r = j - jb * stride;
+    const std::uint64_t level_first = pow2(j) - 1;  // BFS id of v(0, j)
+    for (std::uint64_t i = 0; i < pow2(j); ++i) {
+      const std::uint64_t ib = i >> r;
+      const std::uint64_t irel = i - (ib << r);
+      const std::uint64_t h = irel >> (k_ - 1);
+      const std::uint64_t p = irel & (half_block - 1);
+      Color c;
+      if (p == half_block - 1) {
+        if (jb == 0) {
+          c = static_cast<Color>(Kval + (r - k_));
+        } else {
+          c = col[bfs_id(gamma_node(ib, jb, r - k_, stride, variant_))];
+        }
+      } else {
+        const std::uint64_t hs = h ^ 1;
+        const std::uint32_t rho = floor_log2(p + 1);
+        const std::uint64_t s = p + 1 - pow2(rho);
+        const std::uint32_t rel_level = r - k_ + 1 + rho;
+        const Node src{jb * stride + rel_level, (ib << rel_level) + (hs << rho) + s};
+        c = col[bfs_id(src)];
+      }
+      col[level_first + i] = c;
+    }
+  }
+  return col;
+}
+
+BasicColorMapping::BasicColorMapping(CompleteBinaryTree tree, std::uint32_t N,
+                                     std::uint32_t k)
+    : ColorMapping(tree, N, k) {
+  assert(tree.levels() <= N && "BASIC-COLOR colors a single block");
+}
+
+std::string BasicColorMapping::name() const {
+  return "BASIC-COLOR(N=" + std::to_string(N()) + ",K=" + std::to_string(K()) + ")";
+}
+
+EagerColorMapping::EagerColorMapping(const ColorMapping& base)
+    : TreeMapping(base.tree()),
+      table_(base.materialize()),
+      modules_(base.num_modules()),
+      base_name_(base.name()) {}
+
+std::string EagerColorMapping::name() const { return base_name_ + "+table"; }
+
+ColorMapping make_optimal_color_mapping(CompleteBinaryTree tree, std::uint32_t M) {
+  assert(M >= 3);
+  const std::uint32_t m = floor_log2(std::uint64_t{M} + 1);  // largest 2^m-1 <= M
+  const std::uint32_t k = m - 1;                             // K = 2^{m-1} - 1
+  const std::uint32_t N = static_cast<std::uint32_t>(pow2(m - 1)) + m - 1;  // N = 2^{m-1} + m - 1
+  return ColorMapping(tree, N, k);
+}
+
+ColorMapping make_cf_mapping_for_modules(CompleteBinaryTree tree,
+                                         std::uint32_t M, std::uint32_t k) {
+  assert(k >= 1);
+  const auto K = static_cast<std::uint32_t>(tree_size(k));
+  assert(M >= K + 1);  // room for N >= k + 1
+  const std::uint32_t N = M - K + k;  // N + K - k == M exactly
+  return ColorMapping(tree, N, k);
+}
+
+}  // namespace pmtree

@@ -1,0 +1,12 @@
+#include "pmtree/mapping/mapping.hpp"
+
+namespace pmtree {
+
+std::vector<Color> TreeMapping::colors_of(std::span<const Node> nodes) const {
+  std::vector<Color> out;
+  out.reserve(nodes.size());
+  for (const Node& n : nodes) out.push_back(color_of(n));
+  return out;
+}
+
+}  // namespace pmtree

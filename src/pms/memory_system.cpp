@@ -1,0 +1,39 @@
+#include "pmtree/pms/memory_system.hpp"
+
+#include <algorithm>
+
+#include "pmtree/util/bits.hpp"
+
+namespace pmtree {
+
+MemorySystem::MemorySystem(const TreeMapping& mapping)
+    : mapping_(mapping),
+      traffic_(mapping.num_modules(), 0),
+      scratch_(mapping.num_modules(), 0) {}
+
+AccessResult MemorySystem::access(std::span<const Node> nodes) {
+  std::fill(scratch_.begin(), scratch_.end(), 0u);
+  std::uint32_t busiest = 0;
+  for (const Node& n : nodes) {
+    const Color c = mapping_.color_of(n);
+    traffic_[c] += 1;
+    busiest = std::max(busiest, ++scratch_[c]);
+  }
+  AccessResult result;
+  result.requests = nodes.size();
+  result.rounds = busiest;
+  result.conflicts = busiest == 0 ? 0 : busiest - 1;
+  round_stats_.add(result.rounds);
+  if (!nodes.empty()) {
+    ideal_rounds_ += ceil_div(nodes.size(), modules());
+  }
+  return result;
+}
+
+void MemorySystem::reset() {
+  std::fill(traffic_.begin(), traffic_.end(), 0u);
+  round_stats_ = Accumulator{};
+  ideal_rounds_ = 0;
+}
+
+}  // namespace pmtree

@@ -1,0 +1,43 @@
+#include "pmtree/pms/scheduler.hpp"
+
+#include <algorithm>
+
+#include "pmtree/util/bits.hpp"
+
+namespace pmtree {
+
+BatchResult BatchScheduler::schedule(
+    std::span<const Workload::Access> batch) const {
+  BatchResult result;
+  result.queue.assign(mapping_.num_modules(), 0);
+  for (const auto& access : batch) {
+    result.accesses += 1;
+    result.requests += access.size();
+    for (const Node& n : access) {
+      result.queue[mapping_.color_of(n)] += 1;
+    }
+  }
+  result.makespan = result.queue.empty()
+                        ? 0
+                        : *std::max_element(result.queue.begin(),
+                                            result.queue.end());
+  result.ideal =
+      result.requests == 0 ? 0 : ceil_div(result.requests, mapping_.num_modules());
+  return result;
+}
+
+std::uint64_t BatchScheduler::total_makespan(const Workload& workload,
+                                             std::size_t batch_size) const {
+  if (batch_size == 0) batch_size = 1;
+  std::uint64_t total = 0;
+  const auto& accesses = workload.accesses();
+  for (std::size_t start = 0; start < accesses.size(); start += batch_size) {
+    const std::size_t count = std::min(batch_size, accesses.size() - start);
+    total += schedule(std::span<const Workload::Access>(
+                          accesses.data() + start, count))
+                 .makespan;
+  }
+  return total;
+}
+
+}  // namespace pmtree

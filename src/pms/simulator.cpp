@@ -1,0 +1,89 @@
+#include "pmtree/pms/simulator.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "pmtree/util/bits.hpp"
+
+namespace pmtree {
+
+namespace {
+
+struct WorkerState {
+  std::uint64_t accesses = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t total_rounds = 0;
+  std::uint64_t ideal_rounds = 0;
+  std::uint64_t max_rounds = 0;
+  std::vector<std::uint64_t> traffic;
+};
+
+}  // namespace
+
+SimulationReport ParallelAccessSimulator::run(const TreeMapping& mapping,
+                                              const Workload& workload) const {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned nthreads =
+      std::max(1u, std::min<unsigned>(threads_ == 0 ? hw : threads_,
+                                      static_cast<unsigned>(
+                                          std::max<std::size_t>(workload.size(), 1))));
+  const std::uint32_t modules = mapping.num_modules();
+
+  std::vector<WorkerState> states(nthreads);
+  std::atomic<std::size_t> cursor{0};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(nthreads);
+    for (unsigned t = 0; t < nthreads; ++t) {
+      pool.emplace_back([&, t] {
+        WorkerState& st = states[t];
+        st.traffic.assign(modules, 0);
+        std::vector<std::uint32_t> occupancy(modules, 0);
+        while (true) {
+          const std::size_t idx = cursor.fetch_add(1, std::memory_order_relaxed);
+          if (idx >= workload.size()) break;
+          const auto& access = workload[idx];
+          std::fill(occupancy.begin(), occupancy.end(), 0u);
+          std::uint32_t busiest = 0;
+          for (const Node& n : access) {
+            const Color c = mapping.color_of(n);
+            st.traffic[c] += 1;
+            busiest = std::max(busiest, ++occupancy[c]);
+          }
+          st.accesses += 1;
+          st.requests += access.size();
+          st.total_rounds += busiest;
+          st.max_rounds = std::max<std::uint64_t>(st.max_rounds, busiest);
+          if (!access.empty()) st.ideal_rounds += ceil_div(access.size(), modules);
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  SimulationReport report;
+  report.traffic.assign(modules, 0);
+  for (const WorkerState& st : states) {
+    report.accesses += st.accesses;
+    report.requests += st.requests;
+    report.total_rounds += st.total_rounds;
+    report.ideal_rounds += st.ideal_rounds;
+    report.max_rounds = std::max(report.max_rounds, st.max_rounds);
+    for (std::uint32_t c = 0; c < modules; ++c) {
+      report.traffic[c] += st.traffic[c];
+    }
+  }
+  report.mean_rounds = report.accesses == 0
+                           ? 0.0
+                           : static_cast<double>(report.total_rounds) /
+                                 static_cast<double>(report.accesses);
+  report.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return report;
+}
+
+}  // namespace pmtree

@@ -1,0 +1,46 @@
+#include "pmtree/pms/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "pmtree/pms/memory_system.hpp"
+
+namespace pmtree {
+
+std::vector<TraceEntry> Trace::slower_than(std::uint64_t threshold) const {
+  std::vector<TraceEntry> out;
+  std::copy_if(entries_.begin(), entries_.end(), std::back_inserter(out),
+               [&](const TraceEntry& e) { return e.rounds > threshold; });
+  return out;
+}
+
+void Trace::print_csv(std::ostream& os) const {
+  os << "access_id,requests,rounds,conflicts\n";
+  for (const TraceEntry& e : entries_) {
+    os << e.access_id << ',' << e.requests << ',' << e.rounds << ','
+       << e.conflicts << '\n';
+  }
+}
+
+Trace run_traced(const TreeMapping& mapping, const Workload& workload) {
+  MemorySystem pms(mapping);
+  std::vector<TraceEntry> entries;
+  entries.reserve(workload.size());
+  for (std::size_t id = 0; id < workload.size(); ++id) {
+    const AccessResult result = pms.access(workload[id]);
+    entries.push_back(TraceEntry{id, result.requests, result.rounds,
+                                 result.conflicts});
+  }
+  return Trace(std::move(entries), pms.traffic());
+}
+
+LatencyModel::Estimate LatencyModel::estimate(const Trace& trace) const {
+  Estimate est;
+  for (const TraceEntry& e : trace.entries()) {
+    est.total_ns += access_ns(e.rounds);
+    est.conflict_free_ns += access_ns(e.requests == 0 ? 0 : 1);
+  }
+  return est;
+}
+
+}  // namespace pmtree

@@ -1,0 +1,70 @@
+#include "pmtree/qary/qary_mapping.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace pmtree {
+
+std::uint64_t qary_conflicts(const QaryMapping& mapping,
+                             std::span<const QaryNode> nodes) {
+  std::vector<std::uint32_t> histogram(mapping.num_modules(), 0);
+  std::uint32_t worst = 0;
+  for (const QaryNode& n : nodes) {
+    worst = std::max(worst, ++histogram[mapping.color_of(n)]);
+  }
+  return worst == 0 ? 0 : worst - 1;
+}
+
+std::uint64_t evaluate_qary_subtrees(const QaryMapping& mapping,
+                                     std::uint32_t levels) {
+  std::uint64_t worst = 0;
+  for_each_qary_subtree(mapping.tree(), levels,
+                        [&](const QarySubtreeInstance& s) {
+                          worst = std::max(
+                              worst, qary_conflicts(mapping,
+                                                    s.nodes(mapping.tree())));
+                          return true;
+                        });
+  return worst;
+}
+
+std::uint64_t evaluate_qary_paths(const QaryMapping& mapping,
+                                  std::uint64_t size) {
+  std::uint64_t worst = 0;
+  for_each_qary_path(mapping.tree(), size, [&](const QaryPathInstance& p) {
+    worst = std::max(worst, qary_conflicts(mapping, p.nodes(mapping.tree())));
+    return true;
+  });
+  return worst;
+}
+
+std::uint64_t evaluate_qary_level_runs(const QaryMapping& mapping,
+                                       std::uint64_t size) {
+  std::uint64_t worst = 0;
+  for_each_qary_level_run(mapping.tree(), size,
+                          [&](const QaryLevelRunInstance& l) {
+                            worst = std::max(
+                                worst,
+                                qary_conflicts(mapping,
+                                               l.nodes(mapping.tree())));
+                            return true;
+                          });
+  return worst;
+}
+
+std::uint64_t evaluate_qary_aligned_subtrees(const QaryMapping& mapping,
+                                             std::uint32_t levels,
+                                             std::uint32_t align) {
+  std::uint64_t worst = 0;
+  for_each_qary_subtree(mapping.tree(), levels,
+                        [&](const QarySubtreeInstance& s) {
+                          if (s.root.level % align != 0) return true;
+                          worst = std::max(
+                              worst, qary_conflicts(mapping,
+                                                    s.nodes(mapping.tree())));
+                          return true;
+                        });
+  return worst;
+}
+
+}  // namespace pmtree

@@ -1,0 +1,79 @@
+#include "pmtree/qary/qary_templates.hpp"
+
+#include <cassert>
+
+namespace pmtree {
+
+std::vector<QaryNode> QarySubtreeInstance::nodes(const QaryTree& tree) const {
+  std::vector<QaryNode> out;
+  out.reserve(size(tree));
+  std::uint64_t width = 1;
+  std::uint64_t first = root.index;
+  for (std::uint32_t d = 0; d < levels; ++d) {
+    for (std::uint64_t off = 0; off < width; ++off) {
+      out.push_back(QaryNode{root.level + d, first + off});
+    }
+    width *= tree.arity();
+    first *= tree.arity();
+  }
+  return out;
+}
+
+std::vector<QaryNode> QaryPathInstance::nodes(const QaryTree& tree) const {
+  std::vector<QaryNode> out;
+  out.reserve(size);
+  QaryNode cur = start;
+  for (std::uint64_t t = 0; t < size; ++t) {
+    out.push_back(cur);
+    if (t + 1 < size) cur = tree.parent(cur);
+  }
+  return out;
+}
+
+std::vector<QaryNode> QaryLevelRunInstance::nodes(const QaryTree&) const {
+  std::vector<QaryNode> out;
+  out.reserve(size);
+  for (std::uint64_t t = 0; t < size; ++t) {
+    out.push_back(QaryNode{first.level, first.index + t});
+  }
+  return out;
+}
+
+void for_each_qary_subtree(
+    const QaryTree& tree, std::uint32_t levels,
+    const std::function<bool(const QarySubtreeInstance&)>& visit) {
+  assert(levels >= 1);
+  if (levels > tree.levels()) return;
+  for (std::uint32_t j = 0; j + levels <= tree.levels(); ++j) {
+    for (std::uint64_t i = 0; i < tree.level_width(j); ++i) {
+      if (!visit(QarySubtreeInstance{QaryNode{j, i}, levels})) return;
+    }
+  }
+}
+
+void for_each_qary_path(
+    const QaryTree& tree, std::uint64_t size,
+    const std::function<bool(const QaryPathInstance&)>& visit) {
+  assert(size >= 1);
+  if (size > tree.levels()) return;
+  for (std::uint32_t j = static_cast<std::uint32_t>(size) - 1; j < tree.levels();
+       ++j) {
+    for (std::uint64_t i = 0; i < tree.level_width(j); ++i) {
+      if (!visit(QaryPathInstance{QaryNode{j, i}, size})) return;
+    }
+  }
+}
+
+void for_each_qary_level_run(
+    const QaryTree& tree, std::uint64_t size,
+    const std::function<bool(const QaryLevelRunInstance&)>& visit) {
+  assert(size >= 1);
+  for (std::uint32_t j = 0; j < tree.levels(); ++j) {
+    if (tree.level_width(j) < size) continue;
+    for (std::uint64_t i = 0; i + size <= tree.level_width(j); ++i) {
+      if (!visit(QaryLevelRunInstance{QaryNode{j, i}, size})) return;
+    }
+  }
+}
+
+}  // namespace pmtree

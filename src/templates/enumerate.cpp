@@ -1,0 +1,87 @@
+#include "pmtree/templates/enumerate.hpp"
+
+#include <cassert>
+
+#include "pmtree/util/bits.hpp"
+
+namespace pmtree {
+
+void for_each_subtree(const CompleteBinaryTree& tree, std::uint64_t K,
+                      const std::function<bool(const SubtreeInstance&)>& visit) {
+  assert(is_tree_size(K));
+  const std::uint32_t k = tree_levels(K);
+  if (k > tree.levels()) return;
+  for (std::uint32_t j = 0; j + k <= tree.levels(); ++j) {
+    for (std::uint64_t i = 0; i < pow2(j); ++i) {
+      if (!visit(SubtreeInstance{v(i, j), K})) return;
+    }
+  }
+}
+
+void for_each_level_run(const CompleteBinaryTree& tree, std::uint64_t K,
+                        const std::function<bool(const LevelRunInstance&)>& visit) {
+  assert(K >= 1);
+  for (std::uint32_t j = 0; j < tree.levels(); ++j) {
+    if (pow2(j) < K) continue;
+    for (std::uint64_t i = 0; i + K <= pow2(j); ++i) {
+      if (!visit(LevelRunInstance{v(i, j), K})) return;
+    }
+  }
+}
+
+void for_each_path(const CompleteBinaryTree& tree, std::uint64_t K,
+                   const std::function<bool(const PathInstance&)>& visit) {
+  assert(K >= 1);
+  if (K > tree.levels()) return;  // no ascending path has that many nodes
+  for (std::uint32_t j = static_cast<std::uint32_t>(K) - 1; j < tree.levels(); ++j) {
+    for (std::uint64_t i = 0; i < pow2(j); ++i) {
+      if (!visit(PathInstance{v(i, j), K})) return;
+    }
+  }
+}
+
+void for_each_tp(const CompleteBinaryTree& tree, std::uint64_t K, std::uint32_t j,
+                 const std::function<bool(const CompositeInstance&)>& visit) {
+  assert(is_tree_size(K));
+  assert(j >= 1 && j <= tree.levels());
+  const std::uint32_t k = tree_levels(K);
+  for (std::uint64_t i = 0; i < pow2(j - 1); ++i) {
+    const Node anchor = v(i, j - 1);
+    // Subtree part, truncated at the tree boundary (the paper: "if
+    // j > N - k, the subtree rooted at v(i, j) has size smaller than K").
+    const std::uint32_t sub_levels =
+        std::min(k, tree.levels() - anchor.level);
+    CompositeInstance tp;
+    tp.add(SubtreeInstance{anchor, tree_size(sub_levels)});
+    // Path part: from the anchor's parent up to the root (j-1 nodes),
+    // disjoint from the subtree part.
+    if (anchor.level >= 1) {
+      tp.add(PathInstance{parent(anchor), anchor.level});
+    }
+    if (!visit(tp)) return;
+  }
+}
+
+std::uint64_t count_subtrees(const CompleteBinaryTree& tree, std::uint64_t K) {
+  const std::uint32_t k = tree_levels(K);
+  if (k > tree.levels()) return 0;
+  // sum_{j=0}^{levels-k} 2^j = 2^{levels-k+1} - 1
+  return pow2(tree.levels() - k + 1) - 1;
+}
+
+std::uint64_t count_level_runs(const CompleteBinaryTree& tree, std::uint64_t K) {
+  std::uint64_t total = 0;
+  for (std::uint32_t j = 0; j < tree.levels(); ++j) {
+    if (pow2(j) >= K) total += pow2(j) - K + 1;
+  }
+  return total;
+}
+
+std::uint64_t count_paths(const CompleteBinaryTree& tree, std::uint64_t K) {
+  // One instance per deepest node at level >= K-1:
+  // sum_{j=K-1}^{levels-1} 2^j = 2^levels - 2^{K-1}
+  if (K > tree.levels()) return 0;
+  return pow2(tree.levels()) - pow2(static_cast<std::uint32_t>(K) - 1);
+}
+
+}  // namespace pmtree

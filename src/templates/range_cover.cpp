@@ -1,0 +1,94 @@
+#include "pmtree/templates/range_cover.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "pmtree/util/bits.hpp"
+
+namespace pmtree {
+
+std::vector<SubtreeInstance> subtree_cover(const CompleteBinaryTree& tree,
+                                           std::uint64_t lo, std::uint64_t hi) {
+  assert(lo <= hi && hi < tree.num_leaves());
+  std::vector<SubtreeInstance> cover;
+  const std::uint32_t leaf_level = tree.levels() - 1;
+
+  auto emit = [&](std::uint64_t index, std::uint32_t level) {
+    const std::uint32_t down = tree.levels() - level;
+    cover.push_back(SubtreeInstance{v(index, level), tree_size(down)});
+  };
+
+  std::uint64_t a = lo;
+  std::uint64_t b = hi;
+  std::uint32_t level = leaf_level;
+  while (true) {
+    if (a == b) {
+      emit(a, level);
+      break;
+    }
+    if ((a & 1) != 0) {  // right child: its parent spans leaves below lo
+      emit(a, level);
+      ++a;
+    }
+    if ((b & 1) == 0) {  // left child: its parent spans leaves above hi
+      emit(b, level);
+      --b;
+    }
+    if (a > b) break;
+    a >>= 1;
+    b >>= 1;
+    --level;
+  }
+
+  // Canonical order: left-to-right by covered leaf interval.
+  std::sort(cover.begin(), cover.end(), [&](const SubtreeInstance& x,
+                                            const SubtreeInstance& y) {
+    const std::uint64_t xl = x.root.index << (leaf_level - x.root.level);
+    const std::uint64_t yl = y.root.index << (leaf_level - y.root.level);
+    return xl < yl;
+  });
+  return cover;
+}
+
+CompositeInstance range_query_template(const CompleteBinaryTree& tree,
+                                       std::uint64_t lo, std::uint64_t hi) {
+  const auto cover = subtree_cover(tree, lo, hi);
+  CompositeInstance out;
+  for (const auto& s : cover) out.add(s);
+
+  const std::uint32_t leaf_level = tree.levels() - 1;
+  const Node leaf_lo = v(lo, leaf_level);
+  const Node leaf_hi = v(hi, leaf_level);
+
+  auto covering_root = [&](Node leaf) {
+    for (const auto& s : cover) {
+      if (in_subtree(leaf, s.root, tree_levels(s.size))) return s.root;
+    }
+    assert(false && "cover must contain every leaf of the range");
+    return tree.root();
+  };
+
+  const Node r_lo = covering_root(leaf_lo);
+  // Path 1: all strict ancestors of the subtree containing the left
+  // boundary — the left search path, ending at the root.
+  if (r_lo.level >= 1) {
+    out.add(PathInstance{parent(r_lo), r_lo.level});
+  }
+
+  const Node r_hi = covering_root(leaf_hi);
+  if (r_hi != r_lo && r_hi.level >= 1) {
+    // Path 2: strict ancestors of the right-boundary subtree, stopping
+    // below the lowest common ancestor of the two boundary leaves (the
+    // segment above the LCA already belongs to path 1).
+    std::uint32_t lca_level = leaf_level;
+    while ((lo >> (leaf_level - lca_level)) != (hi >> (leaf_level - lca_level))) {
+      --lca_level;
+    }
+    if (r_hi.level > lca_level + 1) {
+      out.add(PathInstance{parent(r_hi), r_hi.level - lca_level - 1});
+    }
+  }
+  return out;
+}
+
+}  // namespace pmtree

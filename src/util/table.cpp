@@ -1,0 +1,98 @@
+#include "pmtree/util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace pmtree {
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TableWriter::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TableWriter::format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+void TableWriter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c];
+      os << std::string(widths[c] - row[c].size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+
+  emit_row(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+}
+
+std::string TableWriter::str() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+namespace {
+
+void emit_csv_cell(std::ostream& os, const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    os << cell;
+    return;
+  }
+  os << '"';
+  for (const char c : cell) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+void emit_csv_row(std::ostream& os, const std::vector<std::string>& row) {
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    if (c > 0) os << ',';
+    emit_csv_cell(os, row[c]);
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+void TableWriter::print_csv(std::ostream& os) const {
+  emit_csv_row(os, headers_);
+  for (const auto& row : rows_) emit_csv_row(os, row);
+}
+
+std::string TableWriter::csv() const {
+  std::ostringstream oss;
+  print_csv(oss);
+  return oss.str();
+}
+
+}  // namespace pmtree

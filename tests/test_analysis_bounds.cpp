@@ -1,0 +1,58 @@
+#include "pmtree/analysis/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pmtree {
+namespace {
+
+TEST(Bounds, CfModulesMatchesPaperExamples) {
+  // N + K - k with K = 2^k - 1.
+  EXPECT_EQ(bounds::cf_modules(4, 2), 5u);   // 4 + 3 - 2
+  EXPECT_EQ(bounds::cf_modules(6, 3), 10u);  // 6 + 7 - 3
+  EXPECT_EQ(bounds::cf_modules(3, 1), 3u);   // 3 + 1 - 1
+}
+
+TEST(Bounds, CfModulesFullMatchesTwoMMinusLogM) {
+  // 2M - ceil(log2 M): the Section 4 corollary.
+  EXPECT_EQ(bounds::cf_modules_full(7), 11u);    // 14 - 3
+  EXPECT_EQ(bounds::cf_modules_full(15), 26u);   // 30 - 4
+  EXPECT_EQ(bounds::cf_modules_full(31), 57u);   // 62 - 5
+}
+
+TEST(Bounds, CfModulesFullConsistentWithSection4Instantiation) {
+  // Using N = 2^{m-1} + m - 1 and k = m - 1, cf_modules(N, k) must equal
+  // M = 2^m - 1, i.e. cf access to S(M), P(M) via 2M - log M modules seen
+  // from the other side.
+  for (std::uint32_t m = 2; m <= 10; ++m) {
+    const std::uint32_t N = static_cast<std::uint32_t>(pow2(m - 1)) + m - 1;
+    EXPECT_EQ(bounds::cf_modules(N, m - 1), tree_size(m)) << "m=" << m;
+  }
+}
+
+TEST(Bounds, TrivialLowerBound) {
+  EXPECT_EQ(bounds::trivial_lower(7, 7), 0u);
+  EXPECT_EQ(bounds::trivial_lower(8, 7), 1u);
+  EXPECT_EQ(bounds::trivial_lower(70, 7), 9u);
+}
+
+TEST(Bounds, ColorOversizedBounds) {
+  EXPECT_EQ(bounds::color_path_bound(7, 7), 1u);      // 2*1 - 1
+  EXPECT_EQ(bounds::color_path_bound(70, 7), 19u);    // 2*10 - 1
+  EXPECT_EQ(bounds::color_level_bound(70, 7), 40u);   // 4*10
+  EXPECT_EQ(bounds::color_subtree_bound(63, 7), 35u); // 4*9 - 1
+  EXPECT_EQ(bounds::color_composite_bound(70, 7, 3), 43u);
+}
+
+TEST(Bounds, LabelTreeScales) {
+  EXPECT_NEAR(bounds::label_tree_m_scale(64), std::sqrt(64.0 / 6.0), 1e-9);
+  EXPECT_NEAR(bounds::label_tree_d_scale(100, 64), 100.0 / std::sqrt(64.0 * 6.0),
+              1e-9);
+  // Monotone in M for fixed D (more modules, fewer conflicts).
+  EXPECT_GT(bounds::label_tree_d_scale(1000, 15),
+            bounds::label_tree_d_scale(1000, 255));
+}
+
+}  // namespace
+}  // namespace pmtree

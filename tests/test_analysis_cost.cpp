@@ -1,0 +1,94 @@
+#include "pmtree/analysis/cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pmtree/mapping/baselines.hpp"
+#include "pmtree/mapping/color.hpp"
+#include "pmtree/util/bits.hpp"
+
+namespace pmtree {
+namespace {
+
+/// A deliberately terrible mapping: everything on module 0.
+class ConstantMapping final : public TreeMapping {
+ public:
+  explicit ConstantMapping(CompleteBinaryTree tree) : TreeMapping(tree) {}
+  [[nodiscard]] Color color_of(Node) const override { return 0; }
+  [[nodiscard]] std::uint32_t num_modules() const noexcept override { return 4; }
+  [[nodiscard]] std::string name() const override { return "CONSTANT"; }
+};
+
+TEST(Conflicts, CountsMaxMultiplicityMinusOne) {
+  const CompleteBinaryTree tree(4);
+  const ConstantMapping map(tree);
+  const std::vector<Node> nodes{v(0, 0), v(0, 1), v(1, 1)};
+  EXPECT_EQ(conflicts(map, nodes), 2u);
+  EXPECT_EQ(rounds(map, nodes), 3u);
+}
+
+TEST(Conflicts, EmptyAccessIsFree) {
+  const CompleteBinaryTree tree(4);
+  const ConstantMapping map(tree);
+  EXPECT_EQ(conflicts(map, {}), 0u);
+  EXPECT_EQ(rounds(map, {}), 0u);
+}
+
+TEST(Conflicts, ZeroForRainbowAccess) {
+  const CompleteBinaryTree tree(4);
+  const ModuloMapping map(tree, 16);
+  const std::vector<Node> nodes{v(0, 3), v(1, 3), v(2, 3)};
+  EXPECT_EQ(conflicts(map, nodes), 0u);
+  EXPECT_EQ(rounds(map, nodes), 1u);  // all three proceed in one round
+}
+
+TEST(EvaluateFamilies, WorstCaseMappingHitsSizeMinusOne) {
+  const CompleteBinaryTree tree(5);
+  const ConstantMapping map(tree);
+  EXPECT_EQ(evaluate_subtrees(map, 7).max_conflicts, 6u);
+  EXPECT_EQ(evaluate_paths(map, 5).max_conflicts, 4u);
+  EXPECT_EQ(evaluate_level_runs(map, 4).max_conflicts, 3u);
+}
+
+TEST(EvaluateFamilies, InstanceCountsMatchEnumerators) {
+  const CompleteBinaryTree tree(6);
+  const ModuloMapping map(tree, 7);
+  EXPECT_EQ(evaluate_subtrees(map, 3).instances, 31u);
+  EXPECT_EQ(evaluate_paths(map, 4).instances, 56u);
+}
+
+TEST(EvaluateFamilies, WitnessReproducesMaxConflicts) {
+  const CompleteBinaryTree tree(8);
+  const ModuloMapping map(tree, 7);
+  const auto cost = evaluate_paths(map, 7);
+  ASSERT_FALSE(cost.witness.empty());
+  EXPECT_EQ(conflicts(map, cost.witness), cost.max_conflicts);
+}
+
+TEST(EvaluateFamilies, MeanNeverExceedsMax) {
+  const CompleteBinaryTree tree(8);
+  const RandomMapping map(tree, 15, 3);
+  const auto cost = evaluate_subtrees(map, 15);
+  EXPECT_LE(cost.mean_conflicts,
+            static_cast<double>(cost.max_conflicts) + 1e-12);
+}
+
+TEST(SampleFamilies, SampledMaxNeverExceedsExhaustiveMax) {
+  const CompleteBinaryTree tree(9);
+  const RandomMapping map(tree, 15, 5);
+  Rng rng(99);
+  const auto exhaustive = evaluate_paths(map, 9);
+  const auto sampled = sample_paths(map, 9, 500, rng);
+  EXPECT_LE(sampled.max_conflicts, exhaustive.max_conflicts);
+  EXPECT_EQ(sampled.instances, 500u);
+}
+
+TEST(SampleFamilies, CompositeSamplingProducesInstances) {
+  const CompleteBinaryTree tree(12);
+  const ModuloMapping map(tree, 31);
+  Rng rng(7);
+  const auto cost = sample_composites(map, 100, 4, 40, rng);
+  EXPECT_EQ(cost.instances, 40u);
+}
+
+}  // namespace
+}  // namespace pmtree

@@ -1,0 +1,61 @@
+#include "pmtree/analysis/load_balance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "pmtree/mapping/baselines.hpp"
+#include "pmtree/mapping/color.hpp"
+#include "pmtree/mapping/label_tree.hpp"
+
+namespace pmtree {
+namespace {
+
+TEST(LoadBalance, CountsEveryNodeExactlyOnce) {
+  const CompleteBinaryTree tree(10);
+  const ModuloMapping map(tree, 7);
+  const auto report = load_balance(map);
+  const std::uint64_t total = std::accumulate(report.per_module.begin(),
+                                              report.per_module.end(),
+                                              std::uint64_t{0});
+  EXPECT_EQ(total, tree.size());
+}
+
+TEST(LoadBalance, ModuloIsPerfectlyBalanced) {
+  const CompleteBinaryTree tree(10);  // 1023 nodes
+  const ModuloMapping map(tree, 11);  // 1023 = 93 * 11
+  const auto report = load_balance(map);
+  EXPECT_EQ(report.min_load, report.max_load);
+  EXPECT_DOUBLE_EQ(report.ratio(), 1.0);
+  EXPECT_EQ(report.used_modules, 11u);
+}
+
+TEST(LoadBalance, LabelTreeNearlyBalanced) {
+  const CompleteBinaryTree tree(14);
+  const LabelTreeMapping map(tree, 31);
+  const auto report = load_balance(map);
+  EXPECT_LE(report.ratio(), 1.5);
+}
+
+TEST(LoadBalance, ColorOverloadsSomeModules) {
+  // Section 5 names this drawback of COLOR: "it overloads some memory
+  // modules". The skew must be visibly worse than LABEL-TREE's.
+  const CompleteBinaryTree tree(14);
+  const ColorMapping color(tree, 6, 3);
+  const LabelTreeMapping label(tree, color.num_modules());
+  const auto color_report = load_balance(color);
+  const auto label_report = load_balance(label);
+  EXPECT_GT(color_report.ratio(), label_report.ratio());
+}
+
+TEST(LoadBalance, DegenerateSingleModule) {
+  const CompleteBinaryTree tree(5);
+  const ModuloMapping map(tree, 1);
+  const auto report = load_balance(map);
+  EXPECT_EQ(report.used_modules, 1u);
+  EXPECT_EQ(report.max_load, tree.size());
+  EXPECT_DOUBLE_EQ(report.ratio(), 1.0);
+}
+
+}  // namespace
+}  // namespace pmtree

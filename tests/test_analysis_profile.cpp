@@ -1,0 +1,89 @@
+#include "pmtree/analysis/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "pmtree/analysis/cost.hpp"
+#include "pmtree/mapping/baselines.hpp"
+#include "pmtree/mapping/color.hpp"
+#include "pmtree/util/bits.hpp"
+
+namespace pmtree {
+namespace {
+
+TEST(LevelColorHistogram, SumsToLevelWidth) {
+  const CompleteBinaryTree tree(9);
+  const ColorMapping map(tree, 5, 2);
+  for (std::uint32_t j = 0; j < tree.levels(); ++j) {
+    const auto histogram = level_color_histogram(map, j);
+    const auto total = std::accumulate(histogram.begin(), histogram.end(),
+                                       std::uint64_t{0});
+    EXPECT_EQ(total, tree.level_width(j));
+  }
+}
+
+TEST(LevelColorHistogram, ModuloSpreadsEvenlyOnWideLevels) {
+  const CompleteBinaryTree tree(10);
+  const ModuloMapping map(tree, 8);
+  const auto histogram = level_color_histogram(map, 9);  // 512 nodes
+  for (const auto count : histogram) EXPECT_EQ(count, 64u);
+}
+
+TEST(Profiles, OverallMatchesFamilyEvaluation) {
+  const CompleteBinaryTree tree(10);
+  const ModuloMapping map(tree, 7);
+  EXPECT_EQ(subtree_profile(map, 7).overall,
+            evaluate_subtrees(map, 7).max_conflicts);
+  EXPECT_EQ(level_run_profile(map, 7).overall,
+            evaluate_level_runs(map, 7).max_conflicts);
+  EXPECT_EQ(path_profile(map, 7).overall,
+            evaluate_paths(map, 7).max_conflicts);
+}
+
+TEST(Profiles, ColorIsConflictFreeAtEveryLevel) {
+  const CompleteBinaryTree tree(11);
+  const ColorMapping map(tree, 5, 2);
+  const auto sp = subtree_profile(map, 3);
+  const auto pp = path_profile(map, 5);
+  for (std::uint32_t j = 0; j < tree.levels(); ++j) {
+    EXPECT_EQ(sp.worst_by_level[j], 0u) << "level " << j;
+    EXPECT_EQ(pp.worst_by_level[j], 0u) << "level " << j;
+  }
+}
+
+TEST(Profiles, LevelsWithoutInstancesAreZero) {
+  const CompleteBinaryTree tree(8);
+  const ModuloMapping map(tree, 3);
+  // Paths of 5 nodes cannot start above level 4.
+  const auto pp = path_profile(map, 5);
+  for (std::uint32_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(pp.worst_by_level[j], 0u);
+  }
+  // Subtrees of 7 nodes cannot root below level 5.
+  const auto sp = subtree_profile(map, 7);
+  for (std::uint32_t j = 6; j < tree.levels(); ++j) {
+    EXPECT_EQ(sp.worst_by_level[j], 0u);
+  }
+}
+
+TEST(ColorReport, CountsAndLevelSpans) {
+  const CompleteBinaryTree tree(9);
+  const BasicColorMapping map(tree, 9, 2);  // single block
+  const auto report = color_report(map);
+  ASSERT_EQ(report.size(), map.num_modules());
+  std::uint64_t total = 0;
+  for (const auto& usage : report) {
+    EXPECT_TRUE(usage.used);
+    EXPECT_LE(usage.first_level, usage.last_level);
+    total += usage.nodes;
+  }
+  EXPECT_EQ(total, tree.size());
+  // Module 0 holds only the root under BASIC-COLOR-style coloring of the
+  // root block: its color is never inherited (the root has no sibling).
+  EXPECT_EQ(report[0].nodes, 1u);
+  EXPECT_EQ(report[0].first_level, 0u);
+}
+
+}  // namespace
+}  // namespace pmtree

@@ -1,0 +1,77 @@
+#include "pmtree/analysis/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pmtree/analysis/bounds.hpp"
+#include "pmtree/mapping/baselines.hpp"
+#include "pmtree/mapping/color.hpp"
+#include "pmtree/util/bits.hpp"
+
+namespace pmtree {
+namespace {
+
+TEST(Verify, CfElementaryAcceptsColor) {
+  const ColorMapping map(CompleteBinaryTree(9), 5, 2);
+  const auto verdict = verify_cf_elementary(map, 3, 5);
+  EXPECT_TRUE(verdict.ok);
+  EXPECT_EQ(verdict.measured, 0u);
+  EXPECT_TRUE(static_cast<bool>(verdict));
+}
+
+TEST(Verify, CfElementaryRejectsModuloWithWitness) {
+  const ModuloMapping map(CompleteBinaryTree(9), bounds::cf_modules(5, 2));
+  const auto verdict = verify_cf_elementary(map, 3, 5);
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_GT(verdict.measured, 0u);
+  EXPECT_NE(verdict.detail.find("witness"), std::string::npos);
+}
+
+TEST(Verify, TpRainbowAcceptsColorRejectsModulo) {
+  const CompleteBinaryTree tree(8);
+  const ColorMapping good(tree, 5, 2);
+  EXPECT_TRUE(verify_tp_rainbow(good, 3, 5).ok);
+  // Modulo has as many colors as the largest TP instance (6 = cf_modules),
+  // so only structure — not pigeonhole — can save it; it conflicts anyway.
+  const ModuloMapping bad(tree, 6);
+  EXPECT_FALSE(verify_tp_rainbow(bad, 3, 5).ok);
+}
+
+TEST(Verify, OptimalityWitnessChecksSizeAndRainbow) {
+  const ColorMapping map(CompleteBinaryTree(10), 6, 2);
+  const auto verdict = verify_optimality_witness(map, 6, 2);
+  EXPECT_TRUE(verdict.ok) << verdict.detail;
+  EXPECT_EQ(verdict.bound, bounds::cf_modules(6, 2));
+}
+
+TEST(Verify, OptimalityWitnessReportsTreeTooSmall) {
+  // anchor level N - k = 8 needs k more levels: 10 > 6 levels available.
+  const ColorMapping map(CompleteBinaryTree(6), 6, 2);
+  const auto verdict = verify_optimality_witness(map, 10, 2);
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_NE(verdict.detail.find("too small"), std::string::npos);
+}
+
+TEST(Verify, FullParallelismAcceptsOptimalColor) {
+  const auto map = make_optimal_color_mapping(CompleteBinaryTree(9), 7);
+  const auto verdict = verify_full_parallelism(map);
+  EXPECT_TRUE(verdict.ok) << verdict.detail;
+  EXPECT_LE(verdict.measured, 1u);
+}
+
+TEST(Verify, FullParallelismRejectsConstantlyBadMapping) {
+  const ModuloMapping map(CompleteBinaryTree(9), 7);
+  const auto verdict = verify_full_parallelism(map);
+  EXPECT_FALSE(verdict.ok);
+}
+
+TEST(Verify, LevelCostBoundsRespectLemma2) {
+  const ColorMapping map(CompleteBinaryTree(9), 5, 2);
+  EXPECT_TRUE(verify_level_cost(map, 3, 1).ok);
+  // Impossible bound of 0 must fail somewhere (Lemma 2 is tight).
+  const auto verdict = verify_level_cost(map, 3, 0);
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_EQ(verdict.measured, 1u);
+}
+
+}  // namespace
+}  // namespace pmtree

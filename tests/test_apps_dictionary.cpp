@@ -1,0 +1,133 @@
+#include "pmtree/apps/dictionary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "pmtree/analysis/cost.hpp"
+#include "pmtree/mapping/color.hpp"
+#include "pmtree/util/bits.hpp"
+#include "pmtree/util/rng.hpp"
+
+namespace pmtree {
+namespace {
+
+std::vector<Dictionary::Key> distinct_sorted_keys(std::uint32_t levels,
+                                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::set<Dictionary::Key> keys;
+  while (keys.size() < tree_size(levels)) {
+    keys.insert(static_cast<Dictionary::Key>(rng.below(1u << 20)));
+  }
+  return {keys.begin(), keys.end()};
+}
+
+TEST(Dictionary, InorderRankClosedForm) {
+  // Verify against an explicit recursive in-order traversal.
+  const std::uint32_t levels = 5;
+  std::vector<std::uint64_t> rank_of(tree_size(levels));
+  std::uint64_t next = 0;
+  auto walk = [&](auto&& self, Node n) -> void {
+    if (n.level + 1 < levels) self(self, left_child(n));
+    rank_of[bfs_id(n)] = next++;
+    if (n.level + 1 < levels) self(self, right_child(n));
+  };
+  walk(walk, v(0, 0));
+  for (std::uint64_t id = 0; id < tree_size(levels); ++id) {
+    EXPECT_EQ(Dictionary::inorder_rank(node_at(id), levels), rank_of[id])
+        << to_string(node_at(id));
+  }
+}
+
+TEST(Dictionary, LayoutIsABinarySearchTree) {
+  const auto keys = distinct_sorted_keys(6, 1);
+  const Dictionary dict(keys);
+  // Every node's key separates its left and right subtrees.
+  for (std::uint64_t id = 0; id < dict.size(); ++id) {
+    const Node n = node_at(id);
+    if (dict.tree().is_leaf(n)) continue;
+    const auto key = dict.key_at(n);
+    EXPECT_LT(dict.key_at(left_child(n)), key);
+    EXPECT_GT(dict.key_at(right_child(n)), key);
+  }
+}
+
+TEST(Dictionary, SearchFindsEveryKey) {
+  const auto keys = distinct_sorted_keys(7, 2);
+  const Dictionary dict(keys);
+  for (const auto key : keys) {
+    const auto result = dict.search(key);
+    EXPECT_TRUE(result.found) << key;
+    EXPECT_EQ(dict.key_at(result.node), key);
+  }
+}
+
+TEST(Dictionary, SearchMissesAbsentKeys) {
+  const auto keys = distinct_sorted_keys(6, 3);
+  const Dictionary dict(keys);
+  Rng rng(4);
+  int missed = 0;
+  for (int q = 0; q < 200; ++q) {
+    const auto probe = static_cast<Dictionary::Key>(rng.below(1u << 20));
+    const bool present = std::binary_search(keys.begin(), keys.end(), probe);
+    const auto result = dict.search(probe);
+    EXPECT_EQ(result.found, present) << probe;
+    missed += present ? 0 : 1;
+  }
+  EXPECT_GT(missed, 0);  // the probe space is much larger than the key set
+}
+
+TEST(Dictionary, SearchAccessesAFullRootToLeafPath) {
+  const auto keys = distinct_sorted_keys(6, 5);
+  const Dictionary dict(keys);
+  const auto result = dict.search(keys[17]);
+  ASSERT_EQ(result.accessed.size(), dict.tree().levels());
+  EXPECT_EQ(result.accessed.front(), v(0, 0));
+  for (std::size_t t = 1; t < result.accessed.size(); ++t) {
+    EXPECT_EQ(parent(result.accessed[t]), result.accessed[t - 1]);
+  }
+  EXPECT_TRUE(dict.tree().is_leaf(result.accessed.back()));
+}
+
+TEST(Dictionary, SuccessorMatchesSortedOrder) {
+  const auto keys = distinct_sorted_keys(6, 6);
+  const Dictionary dict(keys);
+  Rng rng(7);
+  for (int q = 0; q < 300; ++q) {
+    const auto probe = static_cast<Dictionary::Key>(rng.below(1u << 20));
+    const auto it = std::lower_bound(keys.begin(), keys.end(), probe);
+    const auto got = dict.successor(probe);
+    if (it == keys.end()) {
+      EXPECT_FALSE(got.has_value()) << probe;
+    } else {
+      ASSERT_TRUE(got.has_value()) << probe;
+      EXPECT_EQ(*got, *it) << probe;
+    }
+  }
+}
+
+TEST(Dictionary, LookupsAreOneRoundUnderColor) {
+  // The Section 1.1 claim realized: with a CF mapping of the path length,
+  // a speculative parallel lookup costs a single memory round.
+  const auto keys = distinct_sorted_keys(9, 8);
+  const Dictionary dict(keys);
+  const ColorMapping map(dict.tree(), dict.tree().levels(), 3);
+  Rng rng(9);
+  for (int q = 0; q < 200; ++q) {
+    const auto probe = static_cast<Dictionary::Key>(rng.below(1u << 20));
+    const auto result = dict.search(probe);
+    EXPECT_EQ(conflicts(map, result.accessed), 0u);
+  }
+}
+
+TEST(Dictionary, SingleNode) {
+  const Dictionary dict({42});
+  EXPECT_TRUE(dict.search(42).found);
+  EXPECT_FALSE(dict.search(41).found);
+  EXPECT_EQ(dict.successor(10), 42);
+  EXPECT_FALSE(dict.successor(43).has_value());
+}
+
+}  // namespace
+}  // namespace pmtree

@@ -1,0 +1,126 @@
+#include "pmtree/apps/parallel_heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "pmtree/analysis/cost.hpp"
+#include "pmtree/mapping/color.hpp"
+#include "pmtree/util/rng.hpp"
+
+namespace pmtree {
+namespace {
+
+TEST(ParallelHeap, InsertExtractSortsAnySequence) {
+  ParallelHeap heap(8);
+  Rng rng(21);
+  std::vector<ParallelHeap::Key> keys;
+  for (int i = 0; i < 200; ++i) {
+    keys.push_back(static_cast<ParallelHeap::Key>(rng.below(1000)));
+    heap.insert(keys.back());
+    ASSERT_TRUE(heap.is_valid_heap());
+  }
+  std::sort(keys.begin(), keys.end());
+  for (const auto expected : keys) {
+    ParallelHeap::Key out = 0;
+    heap.extract_min(&out);
+    EXPECT_EQ(out, expected);
+    ASSERT_TRUE(heap.is_valid_heap());
+  }
+  EXPECT_EQ(heap.size(), 0u);
+}
+
+TEST(ParallelHeap, MinPeeksWithoutRemoval) {
+  ParallelHeap heap(4);
+  EXPECT_FALSE(heap.min().has_value());
+  heap.insert(5);
+  heap.insert(3);
+  heap.insert(9);
+  EXPECT_EQ(heap.min(), 3);
+  EXPECT_EQ(heap.size(), 3u);
+}
+
+TEST(ParallelHeap, DecreaseKeyRestoresOrder) {
+  ParallelHeap heap(5);
+  for (ParallelHeap::Key k = 10; k < 20; ++k) heap.insert(k);
+  // Slot 9 holds key 19 (inserted in increasing order, no sifting).
+  heap.decrease_key(9, 1);
+  EXPECT_TRUE(heap.is_valid_heap());
+  EXPECT_EQ(heap.min(), 1);
+}
+
+TEST(ParallelHeap, AccessesAreAscendingRootPaths) {
+  ParallelHeap heap(6);
+  for (int i = 0; i < 40; ++i) {
+    const auto path = heap.insert(100 - i);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.back(), v(0, 0));
+    for (std::size_t t = 1; t < path.size(); ++t) {
+      EXPECT_EQ(path[t], parent(path[t - 1]));
+    }
+  }
+}
+
+TEST(ParallelHeap, ExtractMinReportsLastSlotPath) {
+  ParallelHeap heap(6);
+  for (int i = 0; i < 10; ++i) heap.insert(i);
+  ParallelHeap::Key out = 0;
+  const auto path = heap.extract_min(&out);
+  EXPECT_EQ(out, 0);
+  // Before extraction size was 10; the vacated slot is BFS position 9.
+  EXPECT_EQ(path.front(), node_at(9));
+  EXPECT_EQ(path.back(), v(0, 0));
+}
+
+TEST(ParallelHeap, OperationsAreConflictFreeUnderColor) {
+  // The paper's headline application: heap path accesses are single-round
+  // under a CF mapping of matching path length.
+  const std::uint32_t levels = 9;
+  ParallelHeap heap(levels);
+  const ColorMapping map(heap.tree(), levels, 3);  // CF on P(levels)
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const auto path = heap.insert(static_cast<ParallelHeap::Key>(rng.below(1u << 20)));
+    EXPECT_EQ(conflicts(map, path), 0u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    ParallelHeap::Key out;
+    const auto path = heap.extract_min(&out);
+    EXPECT_EQ(conflicts(map, path), 0u);
+  }
+}
+
+TEST(ParallelHeap, FromKeysHeapifiesInLinearTime) {
+  Rng rng(33);
+  std::vector<ParallelHeap::Key> keys;
+  for (int i = 0; i < 500; ++i) {
+    keys.push_back(static_cast<ParallelHeap::Key>(rng.below(10000)));
+  }
+  ParallelHeap heap = ParallelHeap::from_keys(10, keys);
+  EXPECT_EQ(heap.size(), keys.size());
+  EXPECT_TRUE(heap.is_valid_heap());
+
+  std::sort(keys.begin(), keys.end());
+  for (const auto expected : keys) {
+    ParallelHeap::Key out;
+    heap.extract_min(&out);
+    ASSERT_EQ(out, expected);
+  }
+}
+
+TEST(ParallelHeap, FromKeysEmptyAndSingleton) {
+  ParallelHeap empty = ParallelHeap::from_keys(4, {});
+  EXPECT_EQ(empty.size(), 0u);
+  ParallelHeap one = ParallelHeap::from_keys(4, {9});
+  EXPECT_EQ(one.min(), 9);
+}
+
+TEST(ParallelHeap, CapacityMatchesTreeSize) {
+  ParallelHeap heap(5);
+  EXPECT_EQ(heap.capacity(), 31u);
+  EXPECT_EQ(heap.tree().levels(), 5u);
+}
+
+}  // namespace
+}  // namespace pmtree

@@ -1,0 +1,99 @@
+#include "pmtree/apps/range_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pmtree/analysis/bounds.hpp"
+#include "pmtree/analysis/cost.hpp"
+#include "pmtree/mapping/color.hpp"
+#include "pmtree/util/rng.hpp"
+
+namespace pmtree {
+namespace {
+
+std::vector<RangeIndex::Key> make_keys(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<RangeIndex::Key> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back(static_cast<RangeIndex::Key>(rng.below(10000)));
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+TEST(RangeIndex, PadsToPowerOfTwoLeaves) {
+  const RangeIndex index(make_keys(100, 1));
+  EXPECT_EQ(index.tree().num_leaves(), 128u);
+  EXPECT_EQ(index.key_count(), 100u);
+}
+
+TEST(RangeIndex, SingleKey) {
+  const RangeIndex index({42});
+  EXPECT_EQ(index.tree().levels(), 1u);
+  const auto result = index.query(0, 100);
+  ASSERT_EQ(result.keys.size(), 1u);
+  EXPECT_EQ(result.keys[0], 42);
+}
+
+TEST(RangeIndex, QueryReturnsExactlyTheKeysInRange) {
+  const auto keys = make_keys(300, 2);
+  const RangeIndex index(keys);
+  Rng rng(3);
+  for (int q = 0; q < 200; ++q) {
+    const auto lo = static_cast<RangeIndex::Key>(rng.below(11000)) - 500;
+    const auto hi = lo + static_cast<RangeIndex::Key>(rng.below(3000));
+    const auto result = index.query(lo, hi);
+    std::vector<RangeIndex::Key> expected;
+    std::copy_if(keys.begin(), keys.end(), std::back_inserter(expected),
+                 [&](RangeIndex::Key k) { return k >= lo && k <= hi; });
+    EXPECT_EQ(result.keys, expected) << "range [" << lo << ", " << hi << "]";
+  }
+}
+
+TEST(RangeIndex, EmptyRangeYieldsEmptyResult) {
+  const RangeIndex index({10, 20, 30});
+  EXPECT_TRUE(index.query(11, 19).keys.empty());
+  EXPECT_TRUE(index.query(31, 100).keys.empty());
+  EXPECT_TRUE(index.query(25, 15).keys.empty());  // inverted
+}
+
+TEST(RangeIndex, RoutingValuesAreMaxOfLeftSubtree) {
+  const RangeIndex index({1, 3, 5, 7});
+  // Leaves: 1 3 5 7; root's left subtree holds {1, 3}.
+  EXPECT_EQ(index.value_at(v(0, 0)), 3);
+  EXPECT_EQ(index.value_at(v(0, 1)), 1);
+  EXPECT_EQ(index.value_at(v(1, 1)), 5);
+}
+
+TEST(RangeIndex, DecompositionIsAValidCompositeTemplate) {
+  const auto keys = make_keys(500, 4);
+  const RangeIndex index(keys);
+  const auto result = index.query(1000, 7000);
+  ASSERT_FALSE(result.accessed.empty());
+  EXPECT_TRUE(result.decomposition.fits(index.tree()));
+  EXPECT_TRUE(result.decomposition.is_disjoint());
+  EXPECT_EQ(result.decomposition.nodes().size(), result.accessed.size());
+}
+
+TEST(RangeIndex, QueryCostRespectsTheorem6UnderColor) {
+  const auto keys = make_keys(1000, 5);
+  const RangeIndex index(keys);
+  const std::uint32_t M = 7;
+  const auto map = make_optimal_color_mapping(index.tree(), M);
+  Rng rng(6);
+  for (int q = 0; q < 100; ++q) {
+    const auto lo = static_cast<RangeIndex::Key>(rng.below(10000));
+    const auto hi = lo + static_cast<RangeIndex::Key>(rng.below(4000));
+    const auto result = index.query(lo, hi);
+    if (result.accessed.empty()) continue;
+    const std::uint64_t D = result.accessed.size();
+    const std::uint64_t c = result.decomposition.component_count();
+    EXPECT_LE(conflicts(map, result.accessed),
+              bounds::color_composite_bound(D, M, c));
+  }
+}
+
+}  // namespace
+}  // namespace pmtree

@@ -1,0 +1,105 @@
+#include "pmtree/array/array_mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace pmtree {
+namespace {
+
+TEST(SkewedArray, StepArithmetic) {
+  const SkewedArrayMapping map(Array2D(16, 16), 7, 3);
+  EXPECT_EQ(map.step(RunDirection::kRow), 1u);
+  EXPECT_EQ(map.step(RunDirection::kColumn), 3u);
+  EXPECT_EQ(map.step(RunDirection::kDiagonal), 4u);
+  EXPECT_EQ(map.step(RunDirection::kAntiDiagonal), 2u);
+}
+
+TEST(SkewedArray, ConflictFreeRunBoundMatchesGcdFormula) {
+  const SkewedArrayMapping map(Array2D(16, 16), 6, 2);
+  EXPECT_EQ(map.conflict_free_run_bound(RunDirection::kRow), 6u);       // gcd(1,6)
+  EXPECT_EQ(map.conflict_free_run_bound(RunDirection::kColumn), 3u);    // gcd(2,6)
+  EXPECT_EQ(map.conflict_free_run_bound(RunDirection::kDiagonal), 2u);  // gcd(3,6)
+  EXPECT_EQ(map.conflict_free_run_bound(RunDirection::kAntiDiagonal), 6u);
+}
+
+TEST(SkewedArray, MeasuredRunsMatchTheBoundExactly) {
+  // For every direction: runs up to the bound are conflict-free; a run one
+  // longer conflicts (the bound is tight).
+  const Array2D array(24, 24);
+  for (const std::uint32_t M : {5u, 7u, 11u}) {
+    for (const std::uint32_t a : {2u, 3u, 5u}) {
+      const SkewedArrayMapping map(array, M, a);
+      for (const auto d :
+           {RunDirection::kRow, RunDirection::kColumn, RunDirection::kDiagonal,
+            RunDirection::kAntiDiagonal}) {
+        const std::uint64_t bound = map.conflict_free_run_bound(d);
+        EXPECT_EQ(evaluate_runs(map, d, bound), 0u)
+            << map.name() << " " << to_string(d);
+        if (bound < 20) {
+          EXPECT_GT(evaluate_runs(map, d, bound + 1), 0u)
+              << map.name() << " " << to_string(d);
+        }
+      }
+    }
+  }
+}
+
+TEST(SkewedArray, PrimeModulusServesAllFourDirections) {
+  // M = 7, a = 3: steps {1, 3, 4, 2} all coprime to 7, so rows, columns
+  // and both diagonals of length up to 7 are simultaneously CF — the
+  // Latin-square result of refs [4]/[17].
+  const SkewedArrayMapping map(Array2D(32, 32), 7, 3);
+  for (const auto d :
+       {RunDirection::kRow, RunDirection::kColumn, RunDirection::kDiagonal,
+        RunDirection::kAntiDiagonal}) {
+    EXPECT_EQ(evaluate_runs(map, d, 7), 0u) << to_string(d);
+  }
+}
+
+TEST(SkewedArray, SubarrayConflictFreeWithDigitSkew) {
+  // a = q makes the colors of a p x q block the base-q digit pairs
+  // a*dr + dc, all distinct while p*q <= M.
+  const std::uint32_t M = 12;
+  const SkewedArrayMapping map(Array2D(20, 20), M, 4);  // q = 4
+  EXPECT_EQ(evaluate_subarrays(map, 3, 4), 0u);  // 3*4 = 12 = M
+  EXPECT_EQ(evaluate_subarrays(map, 2, 4), 0u);
+  EXPECT_GT(evaluate_subarrays(map, 4, 4), 0u);  // 16 > M: pigeonhole
+}
+
+TEST(RowMajorArray, PerfectOnRowsBrittleOnColumns) {
+  // cols = 12, M = 6 divides it: every column collapses onto one module.
+  const Array2D array(12, 12);
+  const RowMajorArrayMapping map(array, 6);
+  EXPECT_EQ(evaluate_runs(map, RunDirection::kRow, 6), 0u);
+  EXPECT_EQ(evaluate_runs(map, RunDirection::kColumn, 6), 5u);
+}
+
+TEST(RowMajorArray, CoprimeColumnCountSavesColumns) {
+  const Array2D array(12, 11);  // cols = 11 coprime to 6
+  const RowMajorArrayMapping map(array, 6);
+  EXPECT_EQ(evaluate_runs(map, RunDirection::kColumn, 6), 0u);
+}
+
+TEST(ArrayConflicts, CountsLikeTreeSide) {
+  const RowMajorArrayMapping map(Array2D(4, 4), 4);
+  const std::vector<Cell> cells{Cell{0, 0}, Cell{1, 0}, Cell{2, 0}};
+  // Colors: 0, 4 mod 4 = 0, 8 mod 4 = 0: all on module 0.
+  EXPECT_EQ(array_conflicts(map, cells), 2u);
+  EXPECT_EQ(array_conflicts(map, {}), 0u);
+}
+
+TEST(ArrayMapping, ColorsWithinRange) {
+  const Array2D array(9, 9);
+  const SkewedArrayMapping skew(array, 5, 2);
+  const RowMajorArrayMapping naive(array, 5);
+  for (std::uint64_t r = 0; r < array.rows(); ++r) {
+    for (std::uint64_t c = 0; c < array.cols(); ++c) {
+      ASSERT_LT(skew.color_of(Cell{r, c}), 5u);
+      ASSERT_LT(naive.color_of(Cell{r, c}), 5u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pmtree

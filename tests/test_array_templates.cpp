@@ -1,0 +1,73 @@
+#include "pmtree/array/array2d.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmtree {
+namespace {
+
+TEST(Array2D, ShapeQueries) {
+  const Array2D array(8, 12);
+  EXPECT_EQ(array.rows(), 8u);
+  EXPECT_EQ(array.cols(), 12u);
+  EXPECT_EQ(array.size(), 96u);
+  EXPECT_TRUE(array.contains(Cell{7, 11}));
+  EXPECT_FALSE(array.contains(Cell{8, 0}));
+  EXPECT_FALSE(array.contains(Cell{0, 12}));
+}
+
+TEST(RunInstance, RowRun) {
+  const RunInstance run{Cell{2, 3}, RunDirection::kRow, 4};
+  const auto cells = run.cells();
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0], (Cell{2, 3}));
+  EXPECT_EQ(cells[3], (Cell{2, 6}));
+  EXPECT_TRUE(run.fits(Array2D(4, 7)));
+  EXPECT_FALSE(run.fits(Array2D(4, 6)));  // last col would be 6
+}
+
+TEST(RunInstance, ColumnRun) {
+  const RunInstance run{Cell{1, 5}, RunDirection::kColumn, 3};
+  const auto cells = run.cells();
+  EXPECT_EQ(cells[2], (Cell{3, 5}));
+  EXPECT_TRUE(run.fits(Array2D(4, 6)));
+  EXPECT_FALSE(run.fits(Array2D(3, 6)));
+}
+
+TEST(RunInstance, DiagonalRuns) {
+  const RunInstance diag{Cell{1, 1}, RunDirection::kDiagonal, 3};
+  EXPECT_EQ(diag.cells()[2], (Cell{3, 3}));
+  EXPECT_TRUE(diag.fits(Array2D(4, 4)));
+  EXPECT_FALSE(diag.fits(Array2D(4, 3)));
+
+  const RunInstance anti{Cell{0, 3}, RunDirection::kAntiDiagonal, 4};
+  EXPECT_EQ(anti.cells()[3], (Cell{3, 0}));
+  EXPECT_TRUE(anti.fits(Array2D(4, 4)));
+  // Would need start.col >= 4 to take 5 steps left.
+  EXPECT_FALSE((RunInstance{Cell{0, 3}, RunDirection::kAntiDiagonal, 5}
+                    .fits(Array2D(8, 8))));
+}
+
+TEST(RunInstance, ZeroSizeNeverFits) {
+  EXPECT_FALSE((RunInstance{Cell{0, 0}, RunDirection::kRow, 0}.fits(Array2D(4, 4))));
+}
+
+TEST(SubarrayInstance, CellsRowMajorAndFits) {
+  const SubarrayInstance block{Cell{1, 2}, 2, 3};
+  const auto cells = block.cells();
+  ASSERT_EQ(cells.size(), 6u);
+  EXPECT_EQ(cells[0], (Cell{1, 2}));
+  EXPECT_EQ(cells[2], (Cell{1, 4}));
+  EXPECT_EQ(cells[3], (Cell{2, 2}));
+  EXPECT_TRUE(block.fits(Array2D(3, 5)));
+  EXPECT_FALSE(block.fits(Array2D(3, 4)));
+  EXPECT_FALSE(block.fits(Array2D(2, 5)));
+}
+
+TEST(Array2D, DirectionNames) {
+  EXPECT_STREQ(to_string(RunDirection::kRow), "row");
+  EXPECT_STREQ(to_string(RunDirection::kAntiDiagonal), "antidiagonal");
+  EXPECT_EQ(to_string(Cell{3, 4}), "(3, 4)");
+}
+
+}  // namespace
+}  // namespace pmtree

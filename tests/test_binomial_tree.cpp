@@ -1,0 +1,147 @@
+#include "pmtree/binomial/binomial_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pmtree {
+namespace {
+
+TEST(BinomialTree, ShapeAndRanks) {
+  const BinomialTree tree(4);  // 16 nodes
+  EXPECT_EQ(tree.size(), 16u);
+  EXPECT_EQ(tree.rank(0), 4u);   // the root carries the full order
+  EXPECT_EQ(tree.rank(1), 0u);
+  EXPECT_EQ(tree.rank(2), 1u);
+  EXPECT_EQ(tree.rank(8), 3u);
+  EXPECT_EQ(tree.rank(12), 2u);  // 0b1100
+}
+
+TEST(BinomialTree, ParentClearsLowestBit) {
+  EXPECT_EQ(BinomialTree::parent(1), 0u);
+  EXPECT_EQ(BinomialTree::parent(6), 4u);   // 0b110 -> 0b100
+  EXPECT_EQ(BinomialTree::parent(12), 8u);  // 0b1100 -> 0b1000
+  EXPECT_EQ(BinomialTree::parent(7), 6u);
+}
+
+TEST(BinomialTree, DepthIsPopcount) {
+  EXPECT_EQ(BinomialTree::depth(0), 0u);
+  EXPECT_EQ(BinomialTree::depth(7), 3u);
+  EXPECT_EQ(BinomialTree::depth(8), 1u);
+}
+
+TEST(BinomialTree, ParentStructureIsATree) {
+  // Every non-root node reaches 0 in exactly depth(v) steps, and each
+  // step reduces depth by one — the defining property of the labeling.
+  const BinomialTree tree(6);
+  for (std::uint64_t v = 1; v < tree.size(); ++v) {
+    std::uint64_t cur = v;
+    std::uint32_t steps = 0;
+    while (cur != 0) {
+      const std::uint64_t p = BinomialTree::parent(cur);
+      EXPECT_EQ(BinomialTree::depth(p), BinomialTree::depth(cur) - 1);
+      cur = p;
+      ++steps;
+    }
+    EXPECT_EQ(steps, BinomialTree::depth(v));
+  }
+}
+
+TEST(BinomialTree, SubtreeIsContiguousRangeAndClosedUnderParent) {
+  const BinomialTree tree(6);
+  for (std::uint64_t v = 0; v < tree.size(); ++v) {
+    const std::uint32_t k = tree.rank(v);
+    const auto nodes = tree.subtree_nodes(v, k);
+    ASSERT_EQ(nodes.size(), std::uint64_t{1} << k);
+    // Every non-root member's parent is also a member: it is a subtree.
+    const std::set<std::uint64_t> members(nodes.begin(), nodes.end());
+    for (const std::uint64_t w : nodes) {
+      if (w == v) continue;
+      EXPECT_TRUE(members.count(BinomialTree::parent(w)) != 0)
+          << "v=" << v << " w=" << w;
+    }
+  }
+}
+
+TEST(BinomialTree, RootPathBottomUp) {
+  const auto path = BinomialTree::root_path(13);  // 0b1101
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path[0], 13u);
+  EXPECT_EQ(path[1], 12u);
+  EXPECT_EQ(path[2], 8u);
+  EXPECT_EQ(path[3], 0u);
+}
+
+TEST(BinomialTree, SubtreeCountMatchesStructure) {
+  // B_n contains exactly 2^{n-k-1} rank-k nodes for k < n, plus the root.
+  const BinomialTree tree(6);
+  for (std::uint32_t k = 0; k < 6; ++k) {
+    std::uint64_t count = 0;
+    for_each_binomial_subtree(tree, k, [&](std::uint64_t) {
+      ++count;
+      return true;
+    });
+    EXPECT_EQ(count, std::uint64_t{1} << (6 - k - 1)) << "k=" << k;
+  }
+  std::uint64_t full = 0;
+  for_each_binomial_subtree(tree, 6, [&](std::uint64_t root) {
+    EXPECT_EQ(root, 0u);
+    ++full;
+    return true;
+  });
+  EXPECT_EQ(full, 1u);
+}
+
+TEST(BinomialMappings, SubtreeMappingIsCfUpToItsOrder) {
+  const BinomialTree tree(8);
+  const BinomialSubtreeMapping map(tree, 4);  // 16 modules
+  for (std::uint32_t k = 0; k <= 4; ++k) {
+    EXPECT_EQ(evaluate_binomial_subtrees(map, k), 0u) << "k=" << k;
+  }
+  // Order-5 subtrees have 32 nodes on 16 modules: exactly 1 conflict
+  // (consecutive labels wrap the residue ring exactly twice).
+  EXPECT_EQ(evaluate_binomial_subtrees(map, 5), 1u);
+}
+
+TEST(BinomialMappings, SubtreeMappingModuleCountIsMinimal) {
+  // An order-k instance has 2^k nodes: no mapping with fewer than 2^k
+  // modules can be CF (pigeonhole), and BinomialSubtreeMapping uses
+  // exactly 2^k.
+  const BinomialTree tree(7);
+  const BinomialSubtreeMapping map(tree, 3);
+  EXPECT_EQ(map.num_modules(), 8u);
+  EXPECT_EQ(evaluate_binomial_subtrees(map, 3), 0u);
+}
+
+TEST(BinomialMappings, PathMappingIsCfOnShortPaths) {
+  const BinomialTree tree(8);
+  const BinomialPathMapping map(tree, 5);
+  for (std::uint64_t len = 1; len <= 5; ++len) {
+    EXPECT_EQ(evaluate_binomial_paths(map, len), 0u) << "len=" << len;
+  }
+  EXPECT_EQ(evaluate_binomial_paths(map, 6), 1u);
+}
+
+TEST(BinomialMappings, SpecialistsFailTheOtherFamily) {
+  const BinomialTree tree(8);
+  const BinomialSubtreeMapping subtree_map(tree, 4);
+  const BinomialPathMapping path_map(tree, 16);
+  // Paths under the subtree specialist conflict (e.g. 0b11 and 0b10 differ
+  // in the low bits but 0b100 -> 0b000 collide mod 16 ... exhaustively:)
+  EXPECT_GT(evaluate_binomial_paths(subtree_map, 5), 0u);
+  // Subtrees under the path specialist conflict: an order-k subtree holds
+  // many labels of equal popcount.
+  EXPECT_GT(evaluate_binomial_subtrees(path_map, 4), 0u);
+}
+
+TEST(BinomialMappings, ConflictCounting) {
+  const BinomialTree tree(4);
+  const BinomialPathMapping map(tree, 2);
+  // Labels 0 (popcount 0) and 3 (popcount 2) collide mod 2.
+  const std::vector<std::uint64_t> nodes{0, 3, 1};
+  EXPECT_EQ(binomial_conflicts(map, nodes), 1u);
+  EXPECT_EQ(binomial_conflicts(map, {}), 0u);
+}
+
+}  // namespace
+}  // namespace pmtree

@@ -1,0 +1,102 @@
+// End-to-end integration: workload generation -> mapping -> memory system
+// / simulator / scheduler / trace must all tell one consistent story, and
+// the applications must compose with every mapping.
+#include <gtest/gtest.h>
+
+#include "pmtree/pmtree.hpp"
+
+namespace pmtree {
+namespace {
+
+TEST(Integration, AllAccountingLayersAgree) {
+  const CompleteBinaryTree tree(13);
+  const ColorMapping map(tree, 6, 3);
+  const auto workload = Workload::mixed(tree, 9, 300, 4242);
+
+  // Sequential accounting.
+  MemorySystem pms(map);
+  for (const auto& access : workload.accesses()) pms.access(access);
+
+  // Threaded simulator.
+  const auto sim = ParallelAccessSimulator(3).run(map, workload);
+  EXPECT_EQ(sim.total_rounds, pms.total_rounds());
+  EXPECT_EQ(sim.traffic, pms.traffic());
+
+  // Trace.
+  const Trace trace = run_traced(map, workload);
+  EXPECT_EQ(trace.round_stats().sum(), pms.total_rounds());
+  EXPECT_EQ(trace.traffic(), pms.traffic());
+
+  // Scheduler: batch-of-one equals the sequential rounds.
+  const BatchScheduler sched(map);
+  EXPECT_EQ(sched.total_makespan(workload, 1), pms.total_rounds());
+}
+
+TEST(Integration, HeapDictionaryAndIndexComposeWithEveryMapping) {
+  const std::uint32_t levels = 9;
+  const CompleteBinaryTree tree(levels);
+  const ColorMapping color(tree, levels, 3);
+  const LabelTreeMapping label(tree, color.num_modules());
+  const ModuloMapping naive(tree, color.num_modules());
+
+  ParallelHeap heap(levels);
+  Rng rng(7);
+  std::vector<std::vector<Node>> accesses;
+  for (int i = 0; i < 100; ++i) {
+    accesses.push_back(
+        heap.insert(static_cast<ParallelHeap::Key>(rng.below(1000))));
+  }
+  ASSERT_TRUE(heap.is_valid_heap());
+
+  for (const TreeMapping* map :
+       {static_cast<const TreeMapping*>(&color),
+        static_cast<const TreeMapping*>(&label),
+        static_cast<const TreeMapping*>(&naive)}) {
+    MemorySystem pms(*map);
+    for (const auto& access : accesses) pms.access(access);
+    EXPECT_EQ(pms.round_stats().count(), accesses.size()) << map->name();
+    EXPECT_GE(pms.total_rounds(), accesses.size()) << map->name();
+  }
+
+  // COLOR specifically: every heap path is one round.
+  MemorySystem cf(color);
+  for (const auto& access : accesses) {
+    EXPECT_EQ(cf.access(access).rounds, 1u);
+  }
+}
+
+TEST(Integration, RangeIndexThroughTraceAndLatency) {
+  std::vector<RangeIndex::Key> keys;
+  for (int i = 0; i < 700; ++i) keys.push_back(2 * i + 1);
+  const RangeIndex index(keys);
+  const auto map = make_optimal_color_mapping(index.tree(), 15);
+
+  std::vector<std::vector<Node>> accesses;
+  for (int q = 0; q < 50; ++q) {
+    const auto result = index.query(10 * q, 10 * q + 200);
+    if (!result.accessed.empty()) accesses.push_back(result.accessed);
+  }
+  ASSERT_FALSE(accesses.empty());
+  const Workload workload{std::move(accesses)};
+  const Trace trace = run_traced(map, workload);
+  const auto est = LatencyModel{}.estimate(trace);
+  EXPECT_GT(est.total_ns, 0u);
+  EXPECT_GE(est.overhead_factor(), 1.0);
+  // Theorem 6 guarantees a bounded overhead: 4D/M + c rounds on D-node
+  // queries, far below the D-round serialization a conflict-blind layout
+  // can hit.
+  EXPECT_LT(est.overhead_factor(), 60.0);
+}
+
+TEST(Integration, VerdictsComposeAcrossMappings) {
+  const CompleteBinaryTree tree(10);
+  const ColorMapping color(tree, 5, 2);
+  Rng rng(11);
+  const PermutedMapping shuffled = PermutedMapping::shuffled(color, rng);
+  // Permutation preserves all the theorem verdicts.
+  EXPECT_TRUE(verify_cf_elementary(shuffled, 3, 5).ok);
+  EXPECT_TRUE(verify_optimality_witness(shuffled, 5, 2).ok);
+}
+
+}  // namespace
+}  // namespace pmtree

@@ -1,0 +1,134 @@
+// Closed-form consequences of COLOR's construction, tested explicitly:
+// the k = 1 degenerate case collapses to level-mod, Sigma/Gamma color
+// partitions land where the construction says, and the hand-worked
+// multi-block example from DESIGN.md checks out node by node.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pmtree/mapping/color.hpp"
+#include "pmtree/util/bits.hpp"
+
+namespace pmtree {
+namespace {
+
+TEST(ColorClosedForms, K1MultiBlockIsLevelModulo) {
+  // k = 1: every block is one node and Gamma(i, jb) is the path segment
+  // directly above, so the whole mapping collapses to color = level mod N
+  // (N modules). Verified for several heights and N.
+  for (const std::uint32_t N : {3u, 4u, 6u}) {
+    for (const std::uint32_t H : {7u, 10u, 13u}) {
+      const CompleteBinaryTree tree(H);
+      const ColorMapping map(tree, N, 1);
+      ASSERT_EQ(map.num_modules(), N);
+      for (std::uint32_t j = 0; j < tree.levels(); ++j) {
+        for (std::uint64_t i = 0; i < tree.level_width(j); i += 5) {
+          ASSERT_EQ(map.color_of(v(i, j)), j % N)
+              << "N=" << N << " H=" << H << " " << to_string(v(i, j));
+        }
+      }
+    }
+  }
+}
+
+TEST(ColorClosedForms, SigmaColorsOnlyInTopK) {
+  // Colors 0..K-1 (Sigma) are assigned in the top k levels of the root
+  // block; below, they reappear only through inheritance — and color 0
+  // (the root) never reappears inside the root block (the root has no
+  // sibling to copy from).
+  const std::uint32_t N = 6, k = 3;
+  const CompleteBinaryTree tree(6);  // single block
+  const BasicColorMapping map(tree, N, k);
+  std::uint64_t root_color_uses = 0;
+  for (std::uint64_t id = 0; id < tree.size(); ++id) {
+    if (map.color_of(node_at(id)) == 0) ++root_color_uses;
+  }
+  EXPECT_EQ(root_color_uses, 1u);
+}
+
+TEST(ColorClosedForms, GammaColorsFirstAppearAtTheirLevel) {
+  // Gamma[t] = K + t is introduced at block level k + t: no node above
+  // that level carries it.
+  const std::uint32_t N = 7, k = 2;
+  const std::uint64_t K = tree_size(k);
+  const CompleteBinaryTree tree(7);  // single block
+  const BasicColorMapping map(tree, N, k);
+  for (std::uint32_t t = 0; t < N - k; ++t) {
+    const Color gamma_color = static_cast<Color>(K + t);
+    std::uint32_t first_level = tree.levels();
+    for (std::uint32_t j = 0; j < tree.levels(); ++j) {
+      for (std::uint64_t i = 0; i < tree.level_width(j); ++i) {
+        if (map.color_of(v(i, j)) == gamma_color) {
+          first_level = std::min(first_level, j);
+        }
+      }
+    }
+    EXPECT_EQ(first_level, k + t) << "Gamma[" << t << "]";
+  }
+}
+
+TEST(ColorClosedForms, LastInBlockNodesShareTheLevelGammaColor) {
+  // Within the root block, every block's last node at level j carries the
+  // same color Gamma[j - k] (this is what makes Lemma 2's L-cost exactly
+  // 1: the level's repeats are all that one color).
+  const std::uint32_t N = 6, k = 3;
+  const std::uint64_t K = tree_size(k);
+  const CompleteBinaryTree tree(6);
+  const BasicColorMapping map(tree, N, k);
+  const std::uint64_t block = pow2(k - 1);
+  for (std::uint32_t j = k; j < tree.levels(); ++j) {
+    for (std::uint64_t h = 0; h < tree.level_width(j) / block; ++h) {
+      EXPECT_EQ(map.color_of(v(h * block + block - 1, j)),
+                K + (j - k))
+          << "block " << h << " level " << j;
+    }
+  }
+}
+
+TEST(ColorClosedForms, HandWorkedMultiBlockExample) {
+  // N = 3, k = 1 on 5 levels (DESIGN.md walkthrough): blocks of 3 levels
+  // overlapping by 1; colors must cycle 0,1,2,0,1 down the levels.
+  const CompleteBinaryTree tree(5);
+  const ColorMapping map(tree, 3, 1);
+  const Color expected[] = {0, 1, 2, 0, 1};
+  for (std::uint32_t j = 0; j < 5; ++j) {
+    for (std::uint64_t i = 0; i < tree.level_width(j); ++i) {
+      ASSERT_EQ(map.color_of(v(i, j)), expected[j]) << to_string(v(i, j));
+    }
+  }
+}
+
+TEST(ColorClosedForms, FirstBlockNodeCopiesSiblingSubtreeRoot) {
+  // BOTTOM's b_0 rule: the first node of block(h, j) takes the color of
+  // the sibling of the block's (k-1)-st ancestor.
+  const std::uint32_t N = 7, k = 3;
+  const CompleteBinaryTree tree(7);
+  const BasicColorMapping map(tree, N, k);
+  const std::uint64_t block = pow2(k - 1);
+  for (std::uint32_t j = k; j < tree.levels(); ++j) {
+    for (std::uint64_t h = 0; h < tree.level_width(j) / block; ++h) {
+      const Node b0 = v(h * block, j);
+      const Node anc = ancestor(b0, k - 1);
+      ASSERT_EQ(map.color_of(b0), map.color_of(sibling(anc)))
+          << "block " << h << " level " << j;
+    }
+  }
+}
+
+TEST(ColorClosedForms, ModulesUsedMatchesAnnouncement) {
+  for (const auto& [H, N, k] :
+       {std::tuple{9u, 4u, 2u}, std::tuple{12u, 6u, 3u}, std::tuple{13u, 7u, 4u}}) {
+    const ColorMapping map(CompleteBinaryTree(H), N, k);
+    std::set<Color> used;
+    const CompleteBinaryTree tree(H);
+    for (std::uint32_t j = 0; j < tree.levels(); ++j) {
+      for (std::uint64_t i = 0; i < tree.level_width(j); ++i) {
+        used.insert(map.color_of(v(i, j)));
+      }
+    }
+    EXPECT_EQ(used.size(), map.num_modules()) << "H=" << H;
+  }
+}
+
+}  // namespace
+}  // namespace pmtree

@@ -1,0 +1,107 @@
+// Randomized property sweeps for COLOR: for random (H, N, k)
+// configurations drawn from a seeded stream, the structural properties
+// must hold on sampled instances. These complement the exhaustive sweeps
+// with breadth across the parameter space.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pmtree/analysis/cost.hpp"
+#include "pmtree/mapping/color.hpp"
+#include "pmtree/templates/sampler.hpp"
+#include "pmtree/util/bits.hpp"
+#include "pmtree/util/rng.hpp"
+
+namespace pmtree {
+namespace {
+
+struct RandomConfig {
+  std::uint32_t H, N, k;
+};
+
+RandomConfig draw_config(Rng& rng) {
+  const auto k = static_cast<std::uint32_t>(rng.between(1, 5));
+  const auto N = static_cast<std::uint32_t>(rng.between(k + 1, k + 8));
+  const auto H = static_cast<std::uint32_t>(rng.between(N, 26));
+  return {H, N, k};
+}
+
+class ColorRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ColorRandomized, SampledSubtreesAndPathsAreConflictFree) {
+  Rng rng(GetParam());
+  for (int cfg_trial = 0; cfg_trial < 8; ++cfg_trial) {
+    const RandomConfig cfg = draw_config(rng);
+    const CompleteBinaryTree tree(cfg.H);
+    const ColorMapping map(tree, cfg.N, cfg.k);
+    for (int t = 0; t < 50; ++t) {
+      const auto s = sample_subtree(tree, tree_size(cfg.k), rng);
+      ASSERT_TRUE(s.has_value());
+      ASSERT_EQ(conflicts(map, s->nodes()), 0u)
+          << "H=" << cfg.H << " N=" << cfg.N << " k=" << cfg.k << " subtree at "
+          << to_string(s->root);
+      const auto p = sample_path(tree, cfg.N, rng);
+      ASSERT_TRUE(p.has_value());
+      ASSERT_EQ(conflicts(map, p->nodes()), 0u)
+          << "H=" << cfg.H << " N=" << cfg.N << " k=" << cfg.k << " path at "
+          << to_string(p->start);
+    }
+  }
+}
+
+TEST_P(ColorRandomized, RetrievalModesAgreeOnRandomNodes) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  for (int cfg_trial = 0; cfg_trial < 6; ++cfg_trial) {
+    const RandomConfig cfg = draw_config(rng);
+    const CompleteBinaryTree tree(cfg.H);
+    const ColorMapping lazy(tree, cfg.N, cfg.k);
+    const ColorMapping fast(tree, cfg.N, cfg.k, internal::GammaVariant::kCorrect,
+                            ColorMapping::Retrieval::kBlockTable);
+    for (int t = 0; t < 300; ++t) {
+      const Node n = node_at(rng.below(tree.size()));
+      ASSERT_EQ(lazy.color_of(n), fast.color_of(n))
+          << "H=" << cfg.H << " N=" << cfg.N << " k=" << cfg.k << " "
+          << to_string(n);
+    }
+  }
+}
+
+TEST_P(ColorRandomized, SubPathsOfCfPathsAreRainbow) {
+  // Any sub-path of a conflict-free path family instance is itself
+  // rainbow — monotonicity the library's users rely on when accessing
+  // partial paths (e.g. a heap sift that stops early).
+  Rng rng(GetParam() ^ 0x55aa);
+  const RandomConfig cfg = draw_config(rng);
+  const CompleteBinaryTree tree(cfg.H);
+  const ColorMapping map(tree, cfg.N, cfg.k);
+  for (int t = 0; t < 100; ++t) {
+    const std::uint64_t len = rng.between(1, cfg.N);
+    const auto p = sample_path(tree, len, rng);
+    ASSERT_TRUE(p.has_value());
+    ASSERT_EQ(conflicts(map, p->nodes()), 0u) << to_string(p->start);
+  }
+}
+
+TEST_P(ColorRandomized, EveryModuleIsEventuallyUsed) {
+  Rng rng(GetParam() ^ 0x1234);
+  const RandomConfig cfg = draw_config(rng);
+  const CompleteBinaryTree tree(cfg.H);
+  const ColorMapping map(tree, cfg.N, cfg.k);
+  std::set<Color> seen;
+  // The top block alone uses every color (Sigma plus the whole Gamma).
+  for (std::uint32_t j = 0; j < std::min(cfg.N, tree.levels()); ++j) {
+    for (std::uint64_t i = 0; i < tree.level_width(j); ++i) {
+      seen.insert(map.color_of(v(i, j)));
+    }
+  }
+  EXPECT_EQ(seen.size(), map.num_modules());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColorRandomized,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u),
+                         [](const auto& param_info) {
+                           return "seed" + std::to_string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace pmtree

@@ -1,0 +1,77 @@
+#include "pmtree/mapping/combinators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "pmtree/analysis/cost.hpp"
+#include "pmtree/analysis/load_balance.hpp"
+#include "pmtree/mapping/baselines.hpp"
+#include "pmtree/mapping/color.hpp"
+
+namespace pmtree {
+namespace {
+
+TEST(PermutedMapping, IdentityPermutationIsNoop) {
+  const CompleteBinaryTree tree(8);
+  const ColorMapping base(tree, 5, 2);
+  std::vector<Color> identity(base.num_modules());
+  std::iota(identity.begin(), identity.end(), 0u);
+  const PermutedMapping same(base, std::move(identity));
+  for (std::uint64_t id = 0; id < tree.size(); ++id) {
+    ASSERT_EQ(same.color_of(node_at(id)), base.color_of(node_at(id)));
+  }
+}
+
+TEST(PermutedMapping, ConflictsAreInvariantUnderPermutation) {
+  // The core property the analysis layer must respect: conflicts measure
+  // structure, so any relabeling of modules leaves every family cost
+  // unchanged.
+  const CompleteBinaryTree tree(10);
+  const ColorMapping base(tree, 5, 2);
+  Rng rng(31);
+  for (int trial = 0; trial < 5; ++trial) {
+    const PermutedMapping shuffled = PermutedMapping::shuffled(base, rng);
+    EXPECT_EQ(evaluate_subtrees(shuffled, 3).max_conflicts,
+              evaluate_subtrees(base, 3).max_conflicts);
+    EXPECT_EQ(evaluate_paths(shuffled, 5).max_conflicts,
+              evaluate_paths(base, 5).max_conflicts);
+    EXPECT_EQ(evaluate_level_runs(shuffled, 3).max_conflicts,
+              evaluate_level_runs(base, 3).max_conflicts);
+  }
+}
+
+TEST(PermutedMapping, LoadHistogramIsPermuted) {
+  const CompleteBinaryTree tree(10);
+  const ModuloMapping base(tree, 7);
+  Rng rng(32);
+  const PermutedMapping shuffled = PermutedMapping::shuffled(base, rng);
+  auto base_loads = load_balance(base).per_module;
+  auto perm_loads = load_balance(shuffled).per_module;
+  std::sort(base_loads.begin(), base_loads.end());
+  std::sort(perm_loads.begin(), perm_loads.end());
+  EXPECT_EQ(base_loads, perm_loads);
+}
+
+TEST(PermutedMapping, ShuffledIsDeterministicPerSeed) {
+  const CompleteBinaryTree tree(8);
+  const ModuloMapping base(tree, 13);
+  Rng a(5), b(5);
+  const PermutedMapping pa = PermutedMapping::shuffled(base, a);
+  const PermutedMapping pb = PermutedMapping::shuffled(base, b);
+  for (std::uint64_t id = 0; id < tree.size(); ++id) {
+    ASSERT_EQ(pa.color_of(node_at(id)), pb.color_of(node_at(id)));
+  }
+}
+
+TEST(PermutedMapping, NameAndModules) {
+  const CompleteBinaryTree tree(6);
+  const ModuloMapping base(tree, 9);
+  Rng rng(1);
+  const PermutedMapping p = PermutedMapping::shuffled(base, rng);
+  EXPECT_EQ(p.num_modules(), 9u);
+  EXPECT_EQ(p.name(), "MODULO(M=9)+perm");
+}
+
+}  // namespace
+}  // namespace pmtree

@@ -1,0 +1,104 @@
+// Structural white-box tests of the LABEL-TREE reconstruction: the
+// MICRO-LABEL hand example from Fig. 10's formulas, the ROTATE
+// shift-by-one property Lemma 7's proof quotes verbatim, the MACRO window
+// advance between generations, and the l_override ablation hook.
+#include "pmtree/mapping/label_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pmtree/analysis/cost.hpp"
+#include "pmtree/util/bits.hpp"
+
+namespace pmtree {
+namespace {
+
+TEST(LabelTreeStructure, MicroLabelHandExampleL1M3) {
+  // m = 3, forced l = 1: sub-blocks are single nodes. By Fig. 10:
+  //   level 0: sigma = 0 (list position of the root);
+  //   level j >= 1, sub-block h: sigma = 2^1 + 2^{j-1} + floor(h/2) - 1.
+  // Block-relative sigma layout: [0; 2, 2; 3, 3, 4, 4].
+  // With M = 7 the root block (jb = 0, ib = 0) has window base 0, so the
+  // colors of the first block equal the sigmas directly.
+  const CompleteBinaryTree tree(6);
+  const LabelTreeMapping map(tree, 7, LabelTreeMapping::Retrieval::kTable, 1);
+  ASSERT_EQ(map.m(), 3u);
+  ASSERT_EQ(map.l(), 1u);
+  EXPECT_EQ(map.color_of(v(0, 0)), 0u);
+  EXPECT_EQ(map.color_of(v(0, 1)), 2u);
+  EXPECT_EQ(map.color_of(v(1, 1)), 2u);
+  EXPECT_EQ(map.color_of(v(0, 2)), 3u);
+  EXPECT_EQ(map.color_of(v(1, 2)), 3u);
+  EXPECT_EQ(map.color_of(v(2, 2)), 4u);
+  EXPECT_EQ(map.color_of(v(3, 2)), 4u);
+}
+
+TEST(LabelTreeStructure, ConsecutiveBlocksShiftByOne) {
+  // Lemma 7's proof: "list(B) = {f_0..f_{l-1}} and list(B') = {f_1..f_l}".
+  // Equivalent check on colors: the color of a relative position in block
+  // ib+1 is the color of the same position in block ib, plus one (mod M).
+  const std::uint32_t M = 31;
+  const CompleteBinaryTree tree(12);
+  const LabelTreeMapping map(tree, M);
+  const std::uint32_t m = map.m();
+  for (std::uint32_t jb = 1; (jb + 1) * m <= tree.levels(); ++jb) {
+    for (std::uint32_t r = 0; r < m; ++r) {
+      const std::uint32_t level = jb * m + r;
+      for (std::uint64_t irel = 0; irel < pow2(r); ++irel) {
+        for (std::uint64_t ib = 0; ib + 1 < pow2(jb * m) && ib < 8; ++ib) {
+          const Color a = map.color_of(Node{level, (ib << r) + irel});
+          const Color b = map.color_of(Node{level, ((ib + 1) << r) + irel});
+          ASSERT_EQ((a + 1) % M, b)
+              << "jb=" << jb << " r=" << r << " irel=" << irel << " ib=" << ib;
+        }
+      }
+    }
+  }
+}
+
+TEST(LabelTreeStructure, GenerationsAdvanceByEll) {
+  // MACRO-LABEL: block (0, jb+1)'s window starts ell past block (0, jb)'s.
+  const std::uint32_t M = 63;
+  const CompleteBinaryTree tree(18);
+  const LabelTreeMapping map(tree, M);
+  const std::uint32_t m = map.m();
+  // Compare the block roots of the leftmost blocks of two generations:
+  // both have relative position 0 (sigma 0), so colors differ by ell.
+  const Color g0 = map.color_of(v(0, 0));
+  const Color g1 = map.color_of(v(0, m));
+  const Color g2 = map.color_of(v(0, 2 * m));
+  EXPECT_EQ((g0 + map.ell()) % M, g1);
+  EXPECT_EQ((g1 + map.ell()) % M, g2);
+}
+
+TEST(LabelTreeStructure, OverrideChangesParametersButStaysLegal) {
+  const CompleteBinaryTree tree(12);
+  const std::uint32_t M = 63;
+  for (std::uint32_t l = 1; l <= 5; ++l) {
+    const LabelTreeMapping map(tree, M, LabelTreeMapping::Retrieval::kTable, l);
+    EXPECT_EQ(map.l(), l);
+    for (std::uint64_t id = 0; id < tree.size(); id += 7) {
+      ASSERT_LT(map.color_of(node_at(id)), M);
+    }
+  }
+}
+
+TEST(LabelTreeStructure, OverrideClampedToValidRange) {
+  const CompleteBinaryTree tree(10);
+  const LabelTreeMapping map(tree, 63, LabelTreeMapping::Retrieval::kTable, 99);
+  EXPECT_EQ(map.l(), map.m() - 1);  // clamped
+}
+
+TEST(LabelTreeStructure, SigmaWithinFirstBlockNeverExceedsEll) {
+  const CompleteBinaryTree tree(12);
+  const LabelTreeMapping map(tree, 127);
+  const std::uint32_t m = map.m();
+  // Colors of the root block (base 0) are the sigma values themselves.
+  for (std::uint32_t j = 0; j < std::min(m, tree.levels()); ++j) {
+    for (std::uint64_t i = 0; i < pow2(j); ++i) {
+      ASSERT_LT(map.color_of(v(i, j)), map.ell());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pmtree

@@ -1,0 +1,85 @@
+#include "pmtree/pms/memory_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "pmtree/mapping/baselines.hpp"
+#include "pmtree/mapping/color.hpp"
+#include "pmtree/templates/instance.hpp"
+
+namespace pmtree {
+namespace {
+
+TEST(MemorySystem, RoundsEqualBusiestModuleOccupancy) {
+  const CompleteBinaryTree tree(5);
+  const ModuloMapping map(tree, 3);
+  MemorySystem pms(map);
+  // BFS ids 0,3,6 all hit module 0; 1 hits module 1.
+  const std::vector<Node> nodes{node_at(0), node_at(3), node_at(6), node_at(1)};
+  const auto result = pms.access(nodes);
+  EXPECT_EQ(result.requests, 4u);
+  EXPECT_EQ(result.rounds, 3u);
+  EXPECT_EQ(result.conflicts, 2u);
+}
+
+TEST(MemorySystem, ConflictFreeAccessIsOneRound) {
+  const CompleteBinaryTree tree(9);
+  const ColorMapping map(tree, 5, 2);
+  MemorySystem pms(map);
+  const PathInstance path{v(100, 8), 5};
+  const auto nodes = path.nodes();
+  const auto result = pms.access(nodes);
+  EXPECT_EQ(result.rounds, 1u);
+  EXPECT_EQ(result.conflicts, 0u);
+}
+
+TEST(MemorySystem, TrafficAccumulatesAcrossAccesses) {
+  const CompleteBinaryTree tree(5);
+  const ModuloMapping map(tree, 4);
+  MemorySystem pms(map);
+  pms.access(std::vector<Node>{node_at(0), node_at(1)});
+  pms.access(std::vector<Node>{node_at(4), node_at(5)});
+  const std::uint64_t total = std::accumulate(pms.traffic().begin(),
+                                              pms.traffic().end(),
+                                              std::uint64_t{0});
+  EXPECT_EQ(total, 4u);
+  EXPECT_EQ(pms.traffic()[0], 2u);  // ids 0 and 4
+  EXPECT_EQ(pms.traffic()[1], 2u);  // ids 1 and 5
+}
+
+TEST(MemorySystem, RoundStatsAndIdealRounds) {
+  const CompleteBinaryTree tree(5);
+  const ModuloMapping map(tree, 4);
+  MemorySystem pms(map);
+  pms.access(std::vector<Node>{node_at(0), node_at(4), node_at(8)});  // 3 rounds
+  pms.access(std::vector<Node>{node_at(1), node_at(2)});              // 1 round
+  EXPECT_EQ(pms.total_rounds(), 4u);
+  EXPECT_EQ(pms.round_stats().count(), 2u);
+  EXPECT_EQ(pms.round_stats().max(), 3u);
+  // ceil(3/4) + ceil(2/4) = 2.
+  EXPECT_EQ(pms.ideal_rounds(), 2u);
+}
+
+TEST(MemorySystem, ResetClearsState) {
+  const CompleteBinaryTree tree(5);
+  const ModuloMapping map(tree, 4);
+  MemorySystem pms(map);
+  pms.access(std::vector<Node>{node_at(0), node_at(4)});
+  pms.reset();
+  EXPECT_EQ(pms.total_rounds(), 0u);
+  EXPECT_EQ(pms.ideal_rounds(), 0u);
+  for (const auto t : pms.traffic()) EXPECT_EQ(t, 0u);
+}
+
+TEST(MemorySystem, EmptyAccess) {
+  const CompleteBinaryTree tree(5);
+  const ModuloMapping map(tree, 4);
+  MemorySystem pms(map);
+  const auto result = pms.access({});
+  EXPECT_EQ(result.rounds, 0u);
+  EXPECT_EQ(result.conflicts, 0u);
+}
+
+}  // namespace
+}  // namespace pmtree

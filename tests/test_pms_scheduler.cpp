@@ -1,0 +1,100 @@
+#include "pmtree/pms/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "pmtree/mapping/baselines.hpp"
+#include "pmtree/mapping/color.hpp"
+#include "pmtree/pms/memory_system.hpp"
+
+namespace pmtree {
+namespace {
+
+TEST(BatchScheduler, MakespanIsBusiestModuleTotal) {
+  const CompleteBinaryTree tree(5);
+  const ModuloMapping map(tree, 3);
+  const BatchScheduler sched(map);
+  // Two accesses: ids {0,3} -> module 0 twice; {1} -> module 1 once.
+  const std::vector<Workload::Access> batch{
+      {node_at(0), node_at(3)}, {node_at(1)}};
+  const auto result = sched.schedule(batch);
+  EXPECT_EQ(result.accesses, 2u);
+  EXPECT_EQ(result.requests, 3u);
+  EXPECT_EQ(result.makespan, 2u);
+  EXPECT_EQ(result.ideal, 1u);
+  EXPECT_EQ(result.queue[0], 2u);
+  EXPECT_EQ(result.queue[1], 1u);
+  EXPECT_EQ(result.queue[2], 0u);
+}
+
+TEST(BatchScheduler, EmptyBatch) {
+  const CompleteBinaryTree tree(5);
+  const ModuloMapping map(tree, 3);
+  const auto result = BatchScheduler(map).schedule(
+      std::span<const Workload::Access>{});
+  EXPECT_EQ(result.makespan, 0u);
+  EXPECT_DOUBLE_EQ(result.skew(), 1.0);
+}
+
+TEST(BatchScheduler, MakespanBoundedBySequentialRounds) {
+  // Overlapping accesses can only help: the batch makespan never exceeds
+  // the sum of per-access rounds MemorySystem charges.
+  const CompleteBinaryTree tree(12);
+  const ColorMapping map(tree, 6, 3);
+  const auto workload = Workload::mixed(tree, 10, 100, 77);
+  const auto batch = BatchScheduler(map).schedule(workload);
+
+  MemorySystem sequential(map);
+  for (const auto& access : workload.accesses()) sequential.access(access);
+  EXPECT_LE(batch.makespan, sequential.total_rounds());
+  EXPECT_GE(batch.makespan, batch.ideal);
+}
+
+TEST(BatchScheduler, QueueSumsToRequests) {
+  const CompleteBinaryTree tree(12);
+  const ModuloMapping map(tree, 15);
+  const auto workload = Workload::subtrees(tree, 7, 50, 5);
+  const auto batch = BatchScheduler(map).schedule(workload);
+  const auto total = std::accumulate(batch.queue.begin(), batch.queue.end(),
+                                     std::uint64_t{0});
+  EXPECT_EQ(total, batch.requests);
+}
+
+TEST(BatchScheduler, TotalMakespanInterpolatesBatchSizes) {
+  // batch_size = 1 degenerates to sequential rounds; batch_size = all
+  // is the single-batch makespan; sizes in between lie between the two.
+  const CompleteBinaryTree tree(12);
+  const ColorMapping map(tree, 6, 3);
+  const auto workload = Workload::paths(tree, 6, 64, 123);
+  const BatchScheduler sched(map);
+  const std::uint64_t seq = sched.total_makespan(workload, 1);
+  const std::uint64_t mid = sched.total_makespan(workload, 8);
+  const std::uint64_t all = sched.total_makespan(workload, workload.size());
+  EXPECT_GE(seq, mid);
+  EXPECT_GE(mid, all);
+  // CF paths of 6 nodes under 10 modules: one round each sequentially.
+  EXPECT_EQ(seq, workload.size());
+}
+
+TEST(BatchScheduler, ConflictFreeBatchesStillQueueAcrossAccesses) {
+  // Each path is individually conflict-free, but a batch of many paths
+  // piles onto the root-path modules: the makespan reflects that.
+  const CompleteBinaryTree tree(12);
+  const ColorMapping map(tree, 6, 3);
+  const auto workload = Workload::paths(tree, 6, 200, 9);
+  const auto batch = BatchScheduler(map).schedule(workload);
+  EXPECT_GT(batch.makespan, 1u);
+  EXPECT_GE(batch.skew(), 1.0);
+}
+
+TEST(BatchScheduler, ZeroBatchSizeTreatedAsOne) {
+  const CompleteBinaryTree tree(8);
+  const ModuloMapping map(tree, 7);
+  const auto workload = Workload::paths(tree, 4, 10, 3);
+  const BatchScheduler sched(map);
+  EXPECT_EQ(sched.total_makespan(workload, 0), sched.total_makespan(workload, 1));
+}
+
+}  // namespace
+}  // namespace pmtree

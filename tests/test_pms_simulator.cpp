@@ -1,0 +1,76 @@
+#include "pmtree/pms/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "pmtree/mapping/baselines.hpp"
+#include "pmtree/mapping/color.hpp"
+#include "pmtree/pms/memory_system.hpp"
+
+namespace pmtree {
+namespace {
+
+TEST(Simulator, MatchesSequentialMemorySystem) {
+  const CompleteBinaryTree tree(12);
+  const ColorMapping map(tree, 6, 3);
+  const auto wl = Workload::mixed(tree, 10, 200, 11);
+
+  MemorySystem sequential(map);
+  for (const auto& access : wl.accesses()) sequential.access(access);
+
+  const ParallelAccessSimulator sim(4);
+  const auto report = sim.run(map, wl);
+
+  EXPECT_EQ(report.accesses, wl.size());
+  EXPECT_EQ(report.total_rounds, sequential.total_rounds());
+  EXPECT_EQ(report.ideal_rounds, sequential.ideal_rounds());
+  EXPECT_EQ(report.max_rounds, sequential.round_stats().max());
+  ASSERT_EQ(report.traffic.size(), sequential.traffic().size());
+  for (std::size_t c = 0; c < report.traffic.size(); ++c) {
+    EXPECT_EQ(report.traffic[c], sequential.traffic()[c]);
+  }
+}
+
+TEST(Simulator, ThreadCountDoesNotChangeAccounting) {
+  const CompleteBinaryTree tree(12);
+  const ModuloMapping map(tree, 15);
+  const auto wl = Workload::paths(tree, 8, 300, 12);
+  const auto one = ParallelAccessSimulator(1).run(map, wl);
+  const auto many = ParallelAccessSimulator(8).run(map, wl);
+  EXPECT_EQ(one.total_rounds, many.total_rounds);
+  EXPECT_EQ(one.requests, many.requests);
+  EXPECT_EQ(one.traffic, many.traffic);
+}
+
+TEST(Simulator, SlowdownIsAtLeastOne) {
+  const CompleteBinaryTree tree(12);
+  const ModuloMapping map(tree, 7);
+  const auto wl = Workload::subtrees(tree, 7, 100, 13);
+  const auto report = ParallelAccessSimulator(2).run(map, wl);
+  EXPECT_GE(report.slowdown(), 1.0);
+  EXPECT_GT(report.wall_seconds, 0.0);
+}
+
+TEST(Simulator, ConflictFreeMappingHitsIdealRounds) {
+  const CompleteBinaryTree tree(12);
+  const ColorMapping map(tree, 6, 3);  // CF on P(6), modules = 10
+  const auto wl = Workload::paths(tree, 6, 200, 14);
+  const auto report = ParallelAccessSimulator().run(map, wl);
+  // Every path of 6 <= M nodes is one round; ideal is also one round each.
+  EXPECT_EQ(report.total_rounds, report.accesses);
+  EXPECT_EQ(report.ideal_rounds, report.accesses);
+  EXPECT_DOUBLE_EQ(report.slowdown(), 1.0);
+}
+
+TEST(Simulator, EmptyWorkload) {
+  const CompleteBinaryTree tree(6);
+  const ModuloMapping map(tree, 7);
+  const auto report = ParallelAccessSimulator(4).run(map, Workload{});
+  EXPECT_EQ(report.accesses, 0u);
+  EXPECT_EQ(report.total_rounds, 0u);
+  EXPECT_DOUBLE_EQ(report.slowdown(), 1.0);
+}
+
+}  // namespace
+}  // namespace pmtree

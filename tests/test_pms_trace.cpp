@@ -1,0 +1,93 @@
+#include "pmtree/pms/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+
+#include "pmtree/mapping/baselines.hpp"
+#include "pmtree/mapping/color.hpp"
+
+namespace pmtree {
+namespace {
+
+TEST(Trace, RecordsEveryAccessInOrder) {
+  const CompleteBinaryTree tree(10);
+  const ColorMapping map(tree, 5, 2);
+  const auto workload = Workload::paths(tree, 5, 50, 1);
+  const Trace trace = run_traced(map, workload);
+  ASSERT_EQ(trace.entries().size(), 50u);
+  for (std::size_t i = 0; i < trace.entries().size(); ++i) {
+    EXPECT_EQ(trace.entries()[i].access_id, i);
+    EXPECT_EQ(trace.entries()[i].requests, 5u);
+    EXPECT_EQ(trace.entries()[i].rounds, 1u);  // CF paths
+    EXPECT_EQ(trace.entries()[i].conflicts, 0u);
+  }
+  EXPECT_EQ(trace.round_stats().max(), 1u);
+}
+
+TEST(Trace, TrafficSumsToRequests) {
+  const CompleteBinaryTree tree(10);
+  const ModuloMapping map(tree, 7);
+  const auto workload = Workload::subtrees(tree, 7, 40, 2);
+  const Trace trace = run_traced(map, workload);
+  const auto total = std::accumulate(trace.traffic().begin(),
+                                     trace.traffic().end(), std::uint64_t{0});
+  EXPECT_EQ(total, 40u * 7u);
+}
+
+TEST(Trace, SlowerThanFiltersOutliers) {
+  const CompleteBinaryTree tree(10);
+  const ModuloMapping map(tree, 7);
+  const auto workload = Workload::paths(tree, 7, 100, 3);
+  const Trace trace = run_traced(map, workload);
+  const auto slow = trace.slower_than(1);
+  EXPECT_FALSE(slow.empty());  // modulo conflicts on paths
+  for (const auto& e : slow) EXPECT_GT(e.rounds, 1u);
+  EXPECT_TRUE(trace.slower_than(7).empty());  // can't exceed path length
+}
+
+TEST(Trace, CsvShape) {
+  const CompleteBinaryTree tree(6);
+  const ModuloMapping map(tree, 3);
+  const auto workload = Workload::paths(tree, 3, 2, 4);
+  const Trace trace = run_traced(map, workload);
+  std::ostringstream oss;
+  trace.print_csv(oss);
+  const std::string csv = oss.str();
+  EXPECT_NE(csv.find("access_id,requests,rounds,conflicts\n"), std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);  // header + 2 rows
+}
+
+TEST(LatencyModel, AccessCost) {
+  const LatencyModel model{40, 100};
+  EXPECT_EQ(model.access_ns(1), 140u);
+  EXPECT_EQ(model.access_ns(3), 340u);
+  EXPECT_EQ(model.access_ns(0), 40u);
+}
+
+TEST(LatencyModel, ConflictFreeTraceHasFactorOne) {
+  const CompleteBinaryTree tree(10);
+  const ColorMapping map(tree, 5, 2);
+  const auto workload = Workload::paths(tree, 5, 30, 5);
+  const auto est = LatencyModel{}.estimate(run_traced(map, workload));
+  EXPECT_EQ(est.total_ns, est.conflict_free_ns);
+  EXPECT_DOUBLE_EQ(est.overhead_factor(), 1.0);
+}
+
+TEST(LatencyModel, ConflictTaxShowsUpForNaiveMapping) {
+  const CompleteBinaryTree tree(12);
+  const std::uint32_t M = 10;
+  const ColorMapping good(tree, 5, 2);          // 10 modules, CF on P(5)
+  const ModuloMapping bad(tree, M);
+  const auto workload = Workload::paths(tree, 5, 500, 6);
+  const LatencyModel model{};
+  const auto good_est = model.estimate(run_traced(good, workload));
+  const auto bad_est = model.estimate(run_traced(bad, workload));
+  EXPECT_DOUBLE_EQ(good_est.overhead_factor(), 1.0);
+  EXPECT_GT(bad_est.overhead_factor(), 1.1);
+  EXPECT_GT(bad_est.total_ns, good_est.total_ns);
+}
+
+}  // namespace
+}  // namespace pmtree

@@ -1,0 +1,87 @@
+#include "pmtree/pms/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pmtree/util/bits.hpp"
+
+namespace pmtree {
+namespace {
+
+TEST(Workload, SubtreesHaveRequestedShape) {
+  const CompleteBinaryTree tree(10);
+  const auto wl = Workload::subtrees(tree, 7, 100, 1);
+  ASSERT_EQ(wl.size(), 100u);
+  for (const auto& access : wl.accesses()) {
+    EXPECT_EQ(access.size(), 7u);
+  }
+}
+
+TEST(Workload, PathsAscend) {
+  const CompleteBinaryTree tree(10);
+  const auto wl = Workload::paths(tree, 6, 50, 2);
+  ASSERT_EQ(wl.size(), 50u);
+  for (const auto& access : wl.accesses()) {
+    ASSERT_EQ(access.size(), 6u);
+    for (std::size_t i = 1; i < access.size(); ++i) {
+      EXPECT_EQ(access[i], parent(access[i - 1]));
+    }
+  }
+}
+
+TEST(Workload, LevelRunsStayInOneLevel) {
+  const CompleteBinaryTree tree(10);
+  const auto wl = Workload::level_runs(tree, 9, 50, 3);
+  for (const auto& access : wl.accesses()) {
+    ASSERT_EQ(access.size(), 9u);
+    for (const Node& n : access) EXPECT_EQ(n.level, access.front().level);
+  }
+}
+
+TEST(Workload, MixedProducesAllKinds) {
+  const CompleteBinaryTree tree(12);
+  const auto wl = Workload::mixed(tree, 7, 300, 4);
+  EXPECT_GT(wl.size(), 250u);
+  bool saw_level_spread = false;  // subtree or path: multiple levels
+  bool saw_single_level = false;
+  for (const auto& access : wl.accesses()) {
+    bool single = true;
+    for (const Node& n : access) single &= n.level == access.front().level;
+    (single ? saw_single_level : saw_level_spread) = true;
+  }
+  EXPECT_TRUE(saw_level_spread);
+  EXPECT_TRUE(saw_single_level);
+}
+
+TEST(Workload, CompositesHonorSpec) {
+  const CompleteBinaryTree tree(12);
+  const auto wl = Workload::composites(tree, 60, 4, 30, 5);
+  EXPECT_GT(wl.size(), 0u);
+  for (const auto& access : wl.accesses()) {
+    EXPECT_EQ(access.size(), 60u);
+  }
+}
+
+TEST(Workload, RangeQueriesAreNonEmptyAndBounded) {
+  const CompleteBinaryTree tree(10);
+  const auto wl = Workload::range_queries(tree, 100, 50, 6);
+  ASSERT_EQ(wl.size(), 50u);
+  for (const auto& access : wl.accesses()) {
+    EXPECT_GT(access.size(), 0u);
+    // The cover's subtrees hold < 2*width nodes in total (each subtree has
+    // more leaves than internal nodes); plus two boundary search paths.
+    EXPECT_LE(access.size(), 2u * 100u + 4u * tree.levels());
+  }
+}
+
+TEST(Workload, DeterministicUnderSeed) {
+  const CompleteBinaryTree tree(10);
+  const auto a = Workload::mixed(tree, 7, 50, 42);
+  const auto b = Workload::mixed(tree, 7, 50, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+}  // namespace
+}  // namespace pmtree

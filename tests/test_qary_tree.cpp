@@ -1,0 +1,88 @@
+#include "pmtree/qary/qary_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pmtree/qary/qary_templates.hpp"
+
+namespace pmtree {
+namespace {
+
+TEST(QaryTree, ShapeQueriesTernary) {
+  const QaryTree tree(3, 4);
+  EXPECT_EQ(tree.arity(), 3u);
+  EXPECT_EQ(tree.levels(), 4u);
+  EXPECT_EQ(tree.level_width(0), 1u);
+  EXPECT_EQ(tree.level_width(3), 27u);
+  EXPECT_EQ(tree.size(), 40u);  // 1 + 3 + 9 + 27
+  EXPECT_EQ(tree.subtree_size(2), 4u);
+  EXPECT_EQ(tree.subtree_size(3), 13u);
+}
+
+TEST(QaryTree, BinaryCaseMatchesBinaryModule) {
+  const QaryTree tree(2, 5);
+  EXPECT_EQ(tree.size(), 31u);
+  EXPECT_EQ(tree.bfs_id(QaryNode{3, 5}), 12u);  // 2^3 - 1 + 5
+}
+
+TEST(QaryTree, ParentChildRoundTrip) {
+  const QaryTree tree(4, 4);
+  const QaryNode n{2, 9};
+  for (std::uint32_t c = 0; c < tree.arity(); ++c) {
+    EXPECT_EQ(tree.parent(tree.child(n, c)), n);
+  }
+  EXPECT_EQ(tree.parent(n), (QaryNode{1, 2}));
+}
+
+TEST(QaryTree, BfsIdsAreDenseAndOrdered) {
+  const QaryTree tree(3, 4);
+  std::uint64_t expected = 0;
+  for (std::uint32_t j = 0; j < tree.levels(); ++j) {
+    for (std::uint64_t i = 0; i < tree.level_width(j); ++i) {
+      EXPECT_EQ(tree.bfs_id(QaryNode{j, i}), expected++);
+    }
+  }
+  EXPECT_EQ(expected, tree.size());
+}
+
+TEST(QaryTemplates, SubtreeNodesBfsOrder) {
+  const QaryTree tree(3, 4);
+  const QarySubtreeInstance s{QaryNode{1, 2}, 2};
+  const auto nodes = s.nodes(tree);
+  ASSERT_EQ(nodes.size(), 4u);
+  EXPECT_EQ(nodes[0], (QaryNode{1, 2}));
+  EXPECT_EQ(nodes[1], (QaryNode{2, 6}));
+  EXPECT_EQ(nodes[3], (QaryNode{2, 8}));
+  EXPECT_TRUE(s.fits(tree));
+  EXPECT_FALSE((QarySubtreeInstance{QaryNode{3, 0}, 2}.fits(tree)));
+}
+
+TEST(QaryTemplates, PathsAscend) {
+  const QaryTree tree(3, 4);
+  const QaryPathInstance p{QaryNode{3, 17}, 3};
+  const auto nodes = p.nodes(tree);
+  ASSERT_EQ(nodes.size(), 3u);
+  EXPECT_EQ(nodes[0], (QaryNode{3, 17}));
+  EXPECT_EQ(nodes[1], (QaryNode{2, 5}));
+  EXPECT_EQ(nodes[2], (QaryNode{1, 1}));
+}
+
+TEST(QaryTemplates, EnumeratorCounts) {
+  const QaryTree tree(3, 4);
+  std::uint64_t subtrees = 0, paths = 0, runs = 0;
+  for_each_qary_subtree(tree, 2, [&](const auto&) { ++subtrees; return true; });
+  for_each_qary_path(tree, 2, [&](const auto&) { ++paths; return true; });
+  for_each_qary_level_run(tree, 3, [&](const auto&) { ++runs; return true; });
+  EXPECT_EQ(subtrees, 13u);  // roots at levels 0..2: 1 + 3 + 9
+  EXPECT_EQ(paths, 39u);     // deepest node anywhere below the root
+  EXPECT_EQ(runs, 1u + 7u + 25u);  // per level: q^j - 3 + 1 where it fits
+}
+
+TEST(QaryTemplates, EnumeratorEarlyStop) {
+  const QaryTree tree(3, 5);
+  std::uint64_t seen = 0;
+  for_each_qary_path(tree, 2, [&](const auto&) { return ++seen < 4; });
+  EXPECT_EQ(seen, 4u);
+}
+
+}  // namespace
+}  // namespace pmtree

@@ -1,0 +1,107 @@
+#include "pmtree/templates/enumerate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pmtree/util/bits.hpp"
+
+namespace pmtree {
+namespace {
+
+TEST(Enumerate, SubtreeCountMatchesClosedForm) {
+  for (std::uint32_t levels = 1; levels <= 8; ++levels) {
+    const CompleteBinaryTree tree(levels);
+    for (std::uint32_t k = 1; k <= levels; ++k) {
+      std::uint64_t seen = 0;
+      for_each_subtree(tree, tree_size(k), [&](const SubtreeInstance& s) {
+        EXPECT_TRUE(s.fits(tree));
+        ++seen;
+        return true;
+      });
+      EXPECT_EQ(seen, count_subtrees(tree, tree_size(k)))
+          << "levels=" << levels << " k=" << k;
+    }
+  }
+}
+
+TEST(Enumerate, LevelRunCountMatchesClosedForm) {
+  for (std::uint32_t levels = 1; levels <= 8; ++levels) {
+    const CompleteBinaryTree tree(levels);
+    for (std::uint64_t K = 1; K <= tree.num_leaves(); K += 3) {
+      std::uint64_t seen = 0;
+      for_each_level_run(tree, K, [&](const LevelRunInstance& l) {
+        EXPECT_TRUE(l.fits(tree));
+        ++seen;
+        return true;
+      });
+      EXPECT_EQ(seen, count_level_runs(tree, K)) << "levels=" << levels
+                                                 << " K=" << K;
+    }
+  }
+}
+
+TEST(Enumerate, PathCountMatchesClosedForm) {
+  for (std::uint32_t levels = 1; levels <= 8; ++levels) {
+    const CompleteBinaryTree tree(levels);
+    for (std::uint64_t K = 1; K <= levels; ++K) {
+      std::uint64_t seen = 0;
+      for_each_path(tree, K, [&](const PathInstance& p) {
+        EXPECT_TRUE(p.fits(tree));
+        ++seen;
+        return true;
+      });
+      EXPECT_EQ(seen, count_paths(tree, K)) << "levels=" << levels << " K=" << K;
+    }
+  }
+}
+
+TEST(Enumerate, InstancesAreDistinct) {
+  const CompleteBinaryTree tree(6);
+  std::set<std::pair<std::uint64_t, std::uint32_t>> roots;
+  for_each_subtree(tree, 7, [&](const SubtreeInstance& s) {
+    EXPECT_TRUE(roots.emplace(s.root.index, s.root.level).second);
+    return true;
+  });
+}
+
+TEST(Enumerate, EarlyStopHonored) {
+  const CompleteBinaryTree tree(8);
+  std::uint64_t seen = 0;
+  for_each_path(tree, 3, [&](const PathInstance&) {
+    return ++seen < 5;
+  });
+  EXPECT_EQ(seen, 5u);
+}
+
+TEST(Enumerate, TpInstancesHaveExpectedShape) {
+  // TP_K(i, j-1): size-K subtree at the anchor (truncated at the boundary)
+  // plus the (j-1)-node path from the anchor's parent to the root.
+  const CompleteBinaryTree tree(6);
+  const std::uint64_t K = 7;  // k = 3
+  for (std::uint32_t j = 1; j <= tree.levels(); ++j) {
+    std::uint64_t seen = 0;
+    for_each_tp(tree, K, j, [&](const CompositeInstance& tp) {
+      ++seen;
+      EXPECT_TRUE(tp.fits(tree));
+      EXPECT_TRUE(tp.is_disjoint());
+      const std::uint32_t anchor_level = j - 1;
+      const std::uint32_t sub_levels =
+          std::min<std::uint32_t>(3, tree.levels() - anchor_level);
+      EXPECT_EQ(tp.size(), tree_size(sub_levels) + anchor_level);
+      return true;
+    });
+    EXPECT_EQ(seen, pow2(j - 1));
+  }
+}
+
+TEST(Enumerate, CountsOnKnownSmallTree) {
+  const CompleteBinaryTree tree(4);  // 15 nodes
+  EXPECT_EQ(count_subtrees(tree, 7), 3u);    // roots in levels 0..1: 1+2
+  EXPECT_EQ(count_paths(tree, 4), 8u);       // one per leaf
+  EXPECT_EQ(count_paths(tree, 1), 15u);      // one per node
+  EXPECT_EQ(count_level_runs(tree, 4), 6u);  // level 2: 1, level 3: 5
+}
+
+}  // namespace
+}  // namespace pmtree

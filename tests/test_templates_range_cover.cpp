@@ -1,0 +1,112 @@
+#include "pmtree/templates/range_cover.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pmtree/util/bits.hpp"
+
+namespace pmtree {
+namespace {
+
+/// Leaves covered by a subtree instance, as an inclusive leaf-index range.
+std::pair<std::uint64_t, std::uint64_t> leaf_span(const CompleteBinaryTree& tree,
+                                                  const SubtreeInstance& s) {
+  const std::uint32_t down = tree.levels() - 1 - s.root.level;
+  return {s.root.index << down, ((s.root.index + 1) << down) - 1};
+}
+
+TEST(SubtreeCover, CoversExactlyTheRange) {
+  const CompleteBinaryTree tree(6);  // 32 leaves
+  for (std::uint64_t lo = 0; lo < tree.num_leaves(); lo += 3) {
+    for (std::uint64_t hi = lo; hi < tree.num_leaves(); hi += 5) {
+      const auto cover = subtree_cover(tree, lo, hi);
+      std::set<std::uint64_t> covered;
+      for (const auto& s : cover) {
+        EXPECT_TRUE(s.fits(tree));
+        const auto [a, b] = leaf_span(tree, s);
+        for (std::uint64_t leaf = a; leaf <= b; ++leaf) {
+          EXPECT_TRUE(covered.insert(leaf).second) << "overlap at leaf " << leaf;
+        }
+      }
+      EXPECT_EQ(covered.size(), hi - lo + 1);
+      EXPECT_EQ(*covered.begin(), lo);
+      EXPECT_EQ(*covered.rbegin(), hi);
+    }
+  }
+}
+
+TEST(SubtreeCover, SizeIsLogarithmic) {
+  const CompleteBinaryTree tree(12);
+  for (std::uint64_t lo : {0ull, 1ull, 700ull, 1025ull}) {
+    for (std::uint64_t hi : {lo, lo + 1, lo + 333, tree.num_leaves() - 1}) {
+      if (hi < lo || hi >= tree.num_leaves()) continue;
+      const auto cover = subtree_cover(tree, lo, hi);
+      EXPECT_LE(cover.size(), 2u * (tree.levels() - 1));
+    }
+  }
+}
+
+TEST(SubtreeCover, FullRangeIsOneTree) {
+  const CompleteBinaryTree tree(5);
+  const auto cover = subtree_cover(tree, 0, tree.num_leaves() - 1);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].root, tree.root());
+  EXPECT_EQ(cover[0].size, tree.size());
+}
+
+TEST(SubtreeCover, SingleLeaf) {
+  const CompleteBinaryTree tree(5);
+  const auto cover = subtree_cover(tree, 5, 5);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].root, v(5, 4));
+  EXPECT_EQ(cover[0].size, 1u);
+}
+
+TEST(SubtreeCover, OrderedLeftToRight) {
+  const CompleteBinaryTree tree(8);
+  const auto cover = subtree_cover(tree, 3, 97);
+  for (std::size_t i = 1; i < cover.size(); ++i) {
+    EXPECT_LT(leaf_span(tree, cover[i - 1]).second, leaf_span(tree, cover[i]).first);
+  }
+}
+
+TEST(RangeQueryTemplate, ComponentsAreDisjointAndFit) {
+  const CompleteBinaryTree tree(8);
+  for (std::uint64_t lo = 0; lo < tree.num_leaves(); lo += 17) {
+    for (std::uint64_t hi = lo; hi < tree.num_leaves(); hi += 23) {
+      const auto composite = range_query_template(tree, lo, hi);
+      EXPECT_TRUE(composite.fits(tree)) << lo << ".." << hi;
+      EXPECT_TRUE(composite.is_disjoint()) << lo << ".." << hi;
+    }
+  }
+}
+
+TEST(RangeQueryTemplate, PathComponentsBoundedByHeight) {
+  // Paper §1.1: "a path of cardinality no larger than the height".
+  const CompleteBinaryTree tree(10);
+  const auto composite = range_query_template(tree, 100, 407);
+  std::uint64_t path_components = 0;
+  for (const auto& part : composite.parts()) {
+    if (part.kind() == TemplateKind::kPath) {
+      path_components += 1;
+      EXPECT_LE(part.size(), tree.levels());
+    }
+  }
+  EXPECT_LE(path_components, 2u);
+  EXPECT_GE(path_components, 1u);
+}
+
+TEST(RangeQueryTemplate, IncludesAncestorsOfBoundarySubtrees) {
+  const CompleteBinaryTree tree(6);
+  const auto composite = range_query_template(tree, 7, 20);
+  // The root is always on the left search path.
+  bool saw_root = false;
+  for (const Node& n : composite.nodes()) {
+    if (n == tree.root()) saw_root = true;
+  }
+  EXPECT_TRUE(saw_root);
+}
+
+}  // namespace
+}  // namespace pmtree

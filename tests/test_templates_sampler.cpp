@@ -1,0 +1,115 @@
+#include "pmtree/templates/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "pmtree/util/bits.hpp"
+
+namespace pmtree {
+namespace {
+
+TEST(Sampler, SubtreeSamplesAreValidAndCoverAllRoots) {
+  const CompleteBinaryTree tree(5);
+  Rng rng(1);
+  std::map<std::uint64_t, std::uint64_t> root_histogram;
+  for (int i = 0; i < 4000; ++i) {
+    const auto s = sample_subtree(tree, 7, rng);
+    ASSERT_TRUE(s.has_value());
+    ASSERT_TRUE(s->fits(tree));
+    root_histogram[bfs_id(s->root)] += 1;
+  }
+  // 7 possible roots (levels 0..2), all should appear under uniformity.
+  EXPECT_EQ(root_histogram.size(), 7u);
+}
+
+TEST(Sampler, SubtreeTooBigReturnsNullopt) {
+  const CompleteBinaryTree tree(3);
+  Rng rng(1);
+  EXPECT_FALSE(sample_subtree(tree, 15, rng).has_value());
+}
+
+TEST(Sampler, LevelRunSamplesAreValid) {
+  const CompleteBinaryTree tree(6);
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const auto l = sample_level_run(tree, 5, rng);
+    ASSERT_TRUE(l.has_value());
+    ASSERT_TRUE(l->fits(tree));
+  }
+  EXPECT_FALSE(sample_level_run(tree, 64, rng).has_value());
+}
+
+TEST(Sampler, PathSamplesAreValidAndUniformOverDeepestNodes) {
+  const CompleteBinaryTree tree(4);
+  Rng rng(3);
+  std::map<std::uint64_t, std::uint64_t> start_histogram;
+  for (int i = 0; i < 4000; ++i) {
+    const auto p = sample_path(tree, 3, rng);
+    ASSERT_TRUE(p.has_value());
+    ASSERT_TRUE(p->fits(tree));
+    start_histogram[bfs_id(p->start)] += 1;
+  }
+  // Deepest nodes at levels 2..3: 4 + 8 = 12 possibilities.
+  EXPECT_EQ(start_histogram.size(), 12u);
+}
+
+TEST(Sampler, CompositeMeetsSpecExactly) {
+  const CompleteBinaryTree tree(12);
+  Rng rng(4);
+  CompositeSpec spec;
+  for (const std::uint64_t c : {1u, 2u, 5u}) {
+    for (const std::uint64_t D : {8u, 40u, 200u}) {
+      if (D < c) continue;
+      spec.total_size = D;
+      spec.components = c;
+      const auto inst = sample_composite(tree, spec, rng);
+      ASSERT_TRUE(inst.has_value()) << "D=" << D << " c=" << c;
+      EXPECT_EQ(inst->size(), D);
+      EXPECT_EQ(inst->component_count(), c);
+      EXPECT_TRUE(inst->fits(tree));
+      EXPECT_TRUE(inst->is_disjoint());
+    }
+  }
+}
+
+TEST(Sampler, CompositeRespectsKindRestrictions) {
+  const CompleteBinaryTree tree(12);
+  Rng rng(5);
+  CompositeSpec spec;
+  spec.total_size = 60;
+  spec.components = 3;
+  spec.allow_subtrees = false;
+  spec.allow_paths = false;
+  const auto inst = sample_composite(tree, spec, rng);
+  ASSERT_TRUE(inst.has_value());
+  for (const auto& part : inst->parts()) {
+    EXPECT_EQ(part.kind(), TemplateKind::kLevelRun);
+  }
+}
+
+TEST(Sampler, CompositeImpossibleSpecsReturnNullopt) {
+  const CompleteBinaryTree tree(6);
+  Rng rng(6);
+  CompositeSpec spec;
+  spec.total_size = 3;
+  spec.components = 5;  // c > D
+  EXPECT_FALSE(sample_composite(tree, spec, rng).has_value());
+  spec.total_size = 60;  // more than half the 63-node tree
+  spec.components = 1;
+  EXPECT_FALSE(sample_composite(tree, spec, rng).has_value());
+}
+
+TEST(Sampler, DeterministicUnderSeed) {
+  const CompleteBinaryTree tree(8);
+  Rng a(9), b(9);
+  for (int i = 0; i < 100; ++i) {
+    const auto x = sample_path(tree, 4, a);
+    const auto y = sample_path(tree, 4, b);
+    ASSERT_TRUE(x && y);
+    EXPECT_EQ(x->start, y->start);
+  }
+}
+
+}  // namespace
+}  // namespace pmtree

@@ -1,0 +1,62 @@
+#include "pmtree/tree/block.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmtree {
+namespace {
+
+TEST(BlockScheme, Geometry) {
+  const BlockScheme scheme{3};  // K = 7, blocks of 4 nodes
+  EXPECT_EQ(scheme.block_size(), 4u);
+  EXPECT_EQ(scheme.blocks_at_level(3), 2u);
+  EXPECT_EQ(scheme.blocks_at_level(5), 8u);
+}
+
+TEST(BlockScheme, MembershipAndPosition) {
+  const BlockScheme scheme{3};
+  EXPECT_EQ(scheme.block_of(v(0, 4)), 0u);
+  EXPECT_EQ(scheme.block_of(v(3, 4)), 0u);
+  EXPECT_EQ(scheme.block_of(v(4, 4)), 1u);
+  EXPECT_EQ(scheme.position_in_block(v(6, 4)), 2u);
+  EXPECT_TRUE(scheme.is_block_last(v(7, 4)));
+  EXPECT_FALSE(scheme.is_block_last(v(6, 4)));
+}
+
+TEST(BlockScheme, BlockNodesAreLeavesOfBlockRootSubtree) {
+  // The paper: block(h, j) consists of the leaves of S_K(h, j-k+1).
+  const BlockScheme scheme{3};
+  for (std::uint32_t j = 3; j < 7; ++j) {
+    for (std::uint64_t h = 0; h < scheme.blocks_at_level(j); ++h) {
+      const Node root = scheme.block_root(h, j);
+      EXPECT_EQ(root, v(h, j - 2));
+      for (std::uint64_t t = 0; t < scheme.block_size(); ++t) {
+        const Node n = scheme.block_node(h, j, t);
+        EXPECT_TRUE(in_subtree(n, root, 3));
+        EXPECT_EQ(ancestor(n, 2), root);  // (k-1)-st ancestor
+        EXPECT_EQ(scheme.block_of(n), h);
+        EXPECT_EQ(scheme.position_in_block(n), t);
+      }
+    }
+  }
+}
+
+TEST(BfsPositionInSubtree, RootIsZeroAndOrderIsLevelwise) {
+  const Node root = v(3, 2);
+  EXPECT_EQ(bfs_position_in_subtree(root, root), 0u);
+  EXPECT_EQ(bfs_position_in_subtree(v(6, 3), root), 1u);
+  EXPECT_EQ(bfs_position_in_subtree(v(7, 3), root), 2u);
+  EXPECT_EQ(bfs_position_in_subtree(v(12, 4), root), 3u);
+  EXPECT_EQ(bfs_position_in_subtree(v(15, 4), root), 6u);
+}
+
+TEST(BfsPositionInSubtree, RoundTripsWithSubtreeNodeAt) {
+  const Node root = v(5, 3);
+  for (std::uint64_t pos = 0; pos < 31; ++pos) {
+    const Node n = subtree_node_at(root, pos);
+    EXPECT_EQ(bfs_position_in_subtree(n, root), pos);
+    EXPECT_TRUE(in_subtree(n, root, 5));
+  }
+}
+
+}  // namespace
+}  // namespace pmtree

@@ -1,0 +1,78 @@
+#include "pmtree/util/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmtree {
+namespace {
+
+TEST(Bits, Pow2) {
+  EXPECT_EQ(pow2(0), 1u);
+  EXPECT_EQ(pow2(1), 2u);
+  EXPECT_EQ(pow2(10), 1024u);
+  EXPECT_EQ(pow2(63), std::uint64_t{1} << 63);
+}
+
+TEST(Bits, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(4), 2u);
+  EXPECT_EQ(floor_log2(1023), 9u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+  EXPECT_EQ(floor_log2(~std::uint64_t{0}), 63u);
+}
+
+TEST(Bits, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(Bits, FloorAndCeilLog2AgreeOnPowersOfTwo) {
+  for (std::uint32_t e = 0; e < 63; ++e) {
+    EXPECT_EQ(floor_log2(pow2(e)), e);
+    EXPECT_EQ(ceil_log2(pow2(e)), e);
+  }
+}
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ull << 40));
+  EXPECT_FALSE(is_pow2((1ull << 40) + 1));
+}
+
+TEST(Bits, IsTreeSize) {
+  EXPECT_FALSE(is_tree_size(0));
+  EXPECT_TRUE(is_tree_size(1));
+  EXPECT_FALSE(is_tree_size(2));
+  EXPECT_TRUE(is_tree_size(3));
+  EXPECT_TRUE(is_tree_size(7));
+  EXPECT_FALSE(is_tree_size(8));
+  EXPECT_TRUE(is_tree_size((1ull << 20) - 1));
+}
+
+TEST(Bits, TreeLevelsAndSizeRoundTrip) {
+  for (std::uint32_t levels = 1; levels <= 40; ++levels) {
+    EXPECT_EQ(tree_levels(tree_size(levels)), levels);
+  }
+  EXPECT_EQ(tree_size(1), 1u);
+  EXPECT_EQ(tree_size(3), 7u);
+}
+
+TEST(Bits, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 5), 0u);
+  EXPECT_EQ(ceil_div(1, 5), 1u);
+  EXPECT_EQ(ceil_div(5, 5), 1u);
+  EXPECT_EQ(ceil_div(6, 5), 2u);
+  EXPECT_EQ(ceil_div(10, 1), 10u);
+}
+
+}  // namespace
+}  // namespace pmtree

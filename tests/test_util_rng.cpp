@@ -1,0 +1,79 @@
+#include "pmtree/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace pmtree {
+namespace {
+
+TEST(Rng, DeterministicStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, SeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += a() == b() ? 1 : 0;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (const std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000000007ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowCoversSmallRangeUniformly) {
+  Rng rng(11);
+  std::array<int, 8> histogram{};
+  const int draws = 80000;
+  for (int i = 0; i < draws; ++i) histogram[rng.below(8)] += 1;
+  for (const int count : histogram) {
+    EXPECT_GT(count, draws / 8 - draws / 32);
+    EXPECT_LT(count, draws / 8 + draws / 32);
+  }
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t x = rng.between(10, 13);
+    EXPECT_GE(x, 10u);
+    EXPECT_LE(x, 13u);
+    saw_lo |= x == 10;
+    saw_hi |= x == 13;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0, 10));
+    EXPECT_TRUE(rng.chance(10, 10));
+  }
+}
+
+TEST(Mix64, IsDeterministicAndSpreads) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_NE(mix64(42), mix64(43));
+  // Consecutive inputs should differ in many bits (avalanche sanity).
+  int weak = 0;
+  for (std::uint64_t x = 0; x < 1000; ++x) {
+    const int bits = std::popcount(mix64(x) ^ mix64(x + 1));
+    if (bits < 16 || bits > 48) ++weak;
+  }
+  EXPECT_LT(weak, 20);
+}
+
+}  // namespace
+}  // namespace pmtree

@@ -1,0 +1,69 @@
+#include "pmtree/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmtree {
+namespace {
+
+TEST(Accumulator, EmptyDefaults) {
+  const Accumulator acc;
+  EXPECT_TRUE(acc.empty());
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.sum(), 0u);
+  EXPECT_EQ(acc.max(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+}
+
+TEST(Accumulator, TracksMinMaxSumMean) {
+  Accumulator acc;
+  acc.add(5);
+  acc.add(1);
+  acc.add(9);
+  EXPECT_EQ(acc.count(), 3u);
+  EXPECT_EQ(acc.sum(), 15u);
+  EXPECT_EQ(acc.min(), 1u);
+  EXPECT_EQ(acc.max(), 9u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+}
+
+TEST(Accumulator, MergeEquivalentToSequential) {
+  Accumulator a, b, all;
+  for (std::uint64_t x : {3u, 8u, 2u}) { a.add(x); all.add(x); }
+  for (std::uint64_t x : {11u, 1u}) { b.add(x); all.add(x); }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.sum(), all.sum());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmptyIsIdentity) {
+  Accumulator a;
+  a.add(4);
+  Accumulator empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 4u);
+  EXPECT_EQ(a.max(), 4u);
+}
+
+TEST(Accumulator, Variance) {
+  Accumulator acc;
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  acc.add(2);
+  acc.add(4);
+  acc.add(6);
+  // mean 4, squared deviations {4, 0, 4} -> population variance 8/3.
+  EXPECT_NEAR(acc.variance(), 8.0 / 3.0, 1e-12);
+}
+
+TEST(Accumulator, VarianceSurvivesMerge) {
+  Accumulator a, b, all;
+  for (std::uint64_t x : {1u, 5u, 9u}) { a.add(x); all.add(x); }
+  for (std::uint64_t x : {2u, 2u}) { b.add(x); all.add(x); }
+  a.merge(b);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+}
+
+}  // namespace
+}  // namespace pmtree

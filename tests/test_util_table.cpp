@@ -1,0 +1,60 @@
+#include "pmtree/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmtree {
+namespace {
+
+TEST(TableWriter, RendersAlignedColumns) {
+  TableWriter table({"name", "value"});
+  table.row("alpha", 1);
+  table.row("b", 22222);
+  const std::string out = table.str();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22222 |"), std::string::npos);
+  EXPECT_NE(out.find("|-------|-------|"), std::string::npos);
+}
+
+TEST(TableWriter, FormatsMixedCellTypes) {
+  TableWriter table({"a", "b", "c", "d"});
+  table.row(std::string("s"), 3.14159, true, 7u);
+  const std::string out = table.str();
+  EXPECT_NE(out.find("3.142"), std::string::npos);
+  EXPECT_NE(out.find("yes"), std::string::npos);
+  EXPECT_NE(out.find("| s "), std::string::npos);
+}
+
+TEST(TableWriter, CountsRows) {
+  TableWriter table({"x"});
+  EXPECT_EQ(table.rows(), 0u);
+  table.row(1);
+  table.row(2);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TableWriter, EmptyTableStillPrintsHeader) {
+  TableWriter table({"only"});
+  const std::string out = table.str();
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(TableWriter, CsvOutput) {
+  TableWriter table({"a", "b"});
+  table.row("plain", 7);
+  table.row("with,comma", "with\"quote");
+  const std::string out = table.csv();
+  EXPECT_EQ(out,
+            "a,b\n"
+            "plain,7\n"
+            "\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(TableWriter, CsvQuotesNewlines) {
+  TableWriter table({"x"});
+  table.row(std::string("line1\nline2"));
+  EXPECT_NE(table.csv().find("\"line1\nline2\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pmtree
