@@ -1,0 +1,71 @@
+// Cycle-accurate engine demo: drives one workload through the module
+// queues under different arrival schedules and prints the trajectory view
+// the aggregate cost models can't show — queue-depth high-water marks and
+// access-latency percentiles — plus the metrics-registry JSON snapshot.
+//
+//   $ ./engine_demo [levels] [accesses]
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+
+#include "pmtree/engine/engine.hpp"
+#include "pmtree/mapping/baselines.hpp"
+#include "pmtree/mapping/color.hpp"
+#include "pmtree/pms/workload.hpp"
+#include "pmtree/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pmtree;
+  using engine::ArrivalSchedule;
+  using engine::CycleEngine;
+  using engine::EngineResult;
+
+  const std::uint32_t levels =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 14;
+  const std::size_t accesses =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 5000;
+
+  const CompleteBinaryTree tree(levels);
+  const std::uint32_t M = 15;
+  const auto color = make_optimal_color_mapping(tree, M);
+  const ModuloMapping naive(tree, M);
+  const auto workload = Workload::mixed(tree, M, accesses, 31415);
+
+  std::cout << "tree: " << levels << " levels, M=" << M << " modules, "
+            << workload.size() << " mixed accesses\n\n";
+
+  TableWriter table({"mapping", "arrivals", "cycles", "throughput",
+                     "q depth max", "p50", "p95", "p99", "max"});
+  engine::MetricsRegistry registry;
+  for (const TreeMapping* mapping :
+       {static_cast<const TreeMapping*>(&color),
+        static_cast<const TreeMapping*>(&naive)}) {
+    for (const ArrivalSchedule& schedule :
+         {ArrivalSchedule::all_at_once(), ArrivalSchedule::fixed_rate(2),
+          ArrivalSchedule::bursty(32, 64), ArrivalSchedule::serialized()}) {
+      const CycleEngine eng(*mapping, &registry,
+                            mapping->name() + "/" + schedule.name());
+      const EngineResult r = eng.run(workload, schedule);
+      table.row(mapping->name(), schedule.name(), r.completion_cycle,
+                r.throughput(), r.max_queue_depth(), r.latency.p50(),
+                r.latency.p95(), r.latency.p99(), r.latency.max());
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nLatencies are in cycles from arrival to last request "
+               "served.\nAll-at-once reproduces the batch makespan; "
+               "serialized reproduces\nthe paper's per-access rounds; the "
+               "open-loop schedules show the\nqueueing behaviour in "
+               "between.\n\nMetrics registry snapshot (truncated to COLOR "
+               "all-at-once):\n";
+  // Print one representative instrument group instead of the full dump.
+  const std::string key = color.name() + "/all-at-once.latency";
+  if (const auto* hist = registry.find_histogram(key); hist != nullptr) {
+    std::cout << "  " << key << ": count=" << hist->count()
+              << " p50=" << hist->p50() << " p95=" << hist->p95()
+              << " p99=" << hist->p99() << " max=" << hist->max() << "\n";
+  }
+  std::cout << "  (full registry: " << registry.size()
+            << " instruments; export with MetricsRegistry::to_json)\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// CycleEngine: the cycle-accurate parallel-memory queueing engine.
+//
+// MemorySystem charges each access its busiest module's occupancy and
+// BatchScheduler collapses a whole batch into its closed-form makespan;
+// both are aggregates — they say nothing about *when* requests drain, how
+// deep module queues get in between, or what latency an individual access
+// observes under contention. CycleEngine produces exactly that
+// trajectory: accesses arrive per an ArrivalSchedule, every request joins
+// its module's FIFO queue, and each module retires one request per cycle
+// (the paper's service model, now with time made explicit). An access
+// completes when its last request is served; its latency is completion
+// minus arrival.
+//
+// The two closed-form models are recovered as special cases — the
+// differential tests hold the engine to them:
+//
+//   * all-at-once arrivals:  completion_cycle == BatchScheduler makespan;
+//   * serialized arrivals:   each access's service time == cost.hpp
+//                            rounds(), and completion_cycle == the sum
+//                            (MemorySystem::total_rounds).
+//
+// Everything the engine observes lands in an EngineResult and, when a
+// MetricsRegistry is supplied, in named instruments under a caller-chosen
+// prefix, ready for JSON export (see metrics.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pmtree/engine/arrival.hpp"
+#include "pmtree/engine/histogram.hpp"
+#include "pmtree/engine/metrics.hpp"
+#include "pmtree/mapping/mapping.hpp"
+#include "pmtree/pms/workload.hpp"
+
+namespace pmtree::engine {
+
+/// Per-access trajectory record.
+struct AccessRecord {
+  std::uint64_t id = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t arrival = 0;     ///< cycle the access entered the queues
+  std::uint64_t completion = 0;  ///< cycle its last request finished
+
+  [[nodiscard]] std::uint64_t latency() const noexcept {
+    return completion - arrival;
+  }
+};
+
+struct EngineResult {
+  std::uint64_t accesses = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t completion_cycle = 0;  ///< when the last access finished
+  std::uint64_t busy_cycles = 0;       ///< cycles with >= 1 request in flight
+  std::vector<AccessRecord> records;   ///< one entry per access, in order
+  std::vector<std::uint64_t> served;   ///< per-module requests served
+  std::vector<std::uint64_t> queue_high_water;  ///< per-module depth peak
+  Histogram latency;     ///< per-access latency distribution
+  Histogram queue_depth; ///< per-module depth sampled every busy cycle
+
+  /// Mean requests retired per busy cycle (<= modules).
+  [[nodiscard]] double throughput() const noexcept {
+    return busy_cycles == 0 ? 0.0
+                            : static_cast<double>(requests) /
+                                  static_cast<double>(busy_cycles);
+  }
+
+  /// Peak queue depth across all modules.
+  [[nodiscard]] std::uint64_t max_queue_depth() const noexcept;
+
+  /// Full trajectory snapshot as JSON (scalars, percentiles, per-module
+  /// arrays) — the payload bench_e16 writes as a BENCH_*.json file.
+  [[nodiscard]] Json to_json() const;
+};
+
+class CycleEngine {
+ public:
+  /// `metrics` (optional) receives instruments named `<prefix>.accesses`,
+  /// `.requests`, `.cycles`, `.busy_cycles`, `.latency` (histogram),
+  /// `.queue_depth` (histogram), `.queue_high_water` (gauge).
+  explicit CycleEngine(const TreeMapping& mapping,
+                       MetricsRegistry* metrics = nullptr,
+                       std::string prefix = "engine")
+      : mapping_(mapping), metrics_(metrics), prefix_(std::move(prefix)) {}
+
+  /// Feeds `workload` through the module queues under `schedule` and
+  /// drains them to completion, one cycle at a time.
+  [[nodiscard]] EngineResult run(const Workload& workload,
+                                 const ArrivalSchedule& schedule) const;
+
+ private:
+  const TreeMapping& mapping_;
+  MetricsRegistry* metrics_;
+  std::string prefix_;
+};
+
+}  // namespace pmtree::engine

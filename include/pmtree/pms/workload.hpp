@@ -29,7 +29,10 @@ class Workload {
     return accesses_[i];
   }
 
-  /// `count` random size-K subtree accesses.
+  /// `count` random size-K subtree accesses. Degenerate parameters (K not
+  /// of the form 2^t - 1, K larger than the tree, count == 0) yield a
+  /// well-formed empty workload — the same convention holds for every
+  /// generator below.
   [[nodiscard]] static Workload subtrees(const CompleteBinaryTree& tree,
                                          std::uint64_t K, std::size_t count,
                                          std::uint64_t seed);

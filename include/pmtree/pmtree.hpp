@@ -19,6 +19,11 @@
 #include "pmtree/array/array_mapping.hpp"
 #include "pmtree/apps/parallel_heap.hpp"
 #include "pmtree/apps/range_index.hpp"
+#include "pmtree/engine/arrival.hpp"
+#include "pmtree/engine/engine.hpp"
+#include "pmtree/engine/histogram.hpp"
+#include "pmtree/engine/json.hpp"
+#include "pmtree/engine/metrics.hpp"
 #include "pmtree/mapping/baselines.hpp"
 #include "pmtree/mapping/color.hpp"
 #include "pmtree/mapping/combinators.hpp"

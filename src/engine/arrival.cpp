@@ -1,0 +1,20 @@
+#include "pmtree/engine/arrival.hpp"
+
+namespace pmtree::engine {
+
+std::string ArrivalSchedule::name() const {
+  switch (kind_) {
+    case Kind::kAllAtOnce:
+      return "all-at-once";
+    case Kind::kFixedRate:
+      return "fixed-rate(period=" + std::to_string(period_) + ")";
+    case Kind::kBursty:
+      return "bursty(burst=" + std::to_string(burst_) +
+             ",gap=" + std::to_string(period_) + ")";
+    case Kind::kSerialized:
+      return "serialized";
+  }
+  return "unknown";
+}
+
+}  // namespace pmtree::engine

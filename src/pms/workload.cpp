@@ -11,6 +11,10 @@ namespace pmtree {
 
 Workload Workload::subtrees(const CompleteBinaryTree& tree, std::uint64_t K,
                             std::size_t count, std::uint64_t seed) {
+  // No size-K subtree exists unless K = 2^t - 1; sample_subtree asserts
+  // that precondition, so reject invalid sizes here instead of passing
+  // them through (oversized-but-valid K is handled by the sampler).
+  if (!is_tree_size(K)) return Workload{};
   Rng rng(seed);
   std::vector<Access> out;
   out.reserve(count);
@@ -44,6 +48,7 @@ Workload Workload::level_runs(const CompleteBinaryTree& tree, std::uint64_t K,
 
 Workload Workload::mixed(const CompleteBinaryTree& tree, std::uint64_t K,
                          std::size_t count, std::uint64_t seed) {
+  if (K == 0) return Workload{};  // every component kind would be empty
   Rng rng(seed);
   std::vector<Access> out;
   out.reserve(count);
@@ -89,6 +94,7 @@ Workload Workload::composites(const CompleteBinaryTree& tree, std::uint64_t D,
 Workload Workload::range_queries(const CompleteBinaryTree& tree,
                                  std::uint64_t max_width, std::size_t count,
                                  std::uint64_t seed) {
+  if (max_width == 0) return Workload{};  // no leaf interval to cover
   Rng rng(seed);
   const std::uint64_t leaves = tree.num_leaves();
   std::vector<Access> out;

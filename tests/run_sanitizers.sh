@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs the pmtree test suite under ASan, UBSan and TSan via the
+# CMakePresets.json configurations. The suite must be green under all
+# three; TSan in particular covers ParallelAccessSimulator's worker merge
+# and the cycle engine.
+#
+#   tests/run_sanitizers.sh             # all three sanitizers, full suite
+#   tests/run_sanitizers.sh tsan        # one sanitizer
+#   tests/run_sanitizers.sh tsan Sim    # ctest -R filter (regex)
+#
+# Benchmarks are off in the sanitizer presets (google-benchmark under TSan
+# is noise, not signal); examples and tests build and run.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+sanitizers=(asan ubsan tsan)
+if [[ $# -ge 1 && -n "$1" ]]; then
+  sanitizers=("$1")
+fi
+filter=()
+if [[ $# -ge 2 && -n "$2" ]]; then
+  filter=(-R "$2")
+fi
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+failed=()
+
+for name in "${sanitizers[@]}"; do
+  echo "==== [$name] configure ===="
+  cmake --preset "$name"
+  echo "==== [$name] build ===="
+  cmake --build --preset "$name" -j "$jobs"
+  echo "==== [$name] ctest ===="
+  if ! ctest --test-dir "build-$name" --output-on-failure -j "$jobs" "${filter[@]}"; then
+    failed+=("$name")
+  fi
+done
+
+if [[ ${#failed[@]} -ne 0 ]]; then
+  echo "FAILED under: ${failed[*]}" >&2
+  exit 1
+fi
+echo "All sanitizer runs clean: ${sanitizers[*]}"

@@ -43,6 +43,40 @@ TEST(Simulator, ThreadCountDoesNotChangeAccounting) {
   EXPECT_EQ(one.traffic, many.traffic);
 }
 
+TEST(Simulator, ReportIsDeterministicAcrossThreadCounts) {
+  // The full report — every field except host wall time — must be
+  // identical for threads = 1, 2, 8 and across repeated runs: merging is
+  // all integer sums/maxes, so no merge order may be observable.
+  const CompleteBinaryTree tree(12);
+  const RandomMapping map(tree, 13, 99);
+  const auto wl = Workload::mixed(tree, 15, 500, 21);
+  const auto baseline = ParallelAccessSimulator(1).run(map, wl);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      const auto report = ParallelAccessSimulator(threads).run(map, wl);
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      EXPECT_EQ(report.accesses, baseline.accesses);
+      EXPECT_EQ(report.requests, baseline.requests);
+      EXPECT_EQ(report.total_rounds, baseline.total_rounds);
+      EXPECT_EQ(report.ideal_rounds, baseline.ideal_rounds);
+      EXPECT_EQ(report.max_rounds, baseline.max_rounds);
+      EXPECT_EQ(report.traffic, baseline.traffic);
+      EXPECT_DOUBLE_EQ(report.mean_rounds, baseline.mean_rounds);
+    }
+  }
+}
+
+TEST(Simulator, MoreThreadsThanAccesses) {
+  const CompleteBinaryTree tree(8);
+  const ModuloMapping map(tree, 5);
+  const auto wl = Workload::paths(tree, 4, 3, 7);
+  const auto wide = ParallelAccessSimulator(64).run(map, wl);
+  const auto narrow = ParallelAccessSimulator(1).run(map, wl);
+  EXPECT_EQ(wide.accesses, 3u);
+  EXPECT_EQ(wide.total_rounds, narrow.total_rounds);
+  EXPECT_EQ(wide.traffic, narrow.traffic);
+}
+
 TEST(Simulator, SlowdownIsAtLeastOne) {
   const CompleteBinaryTree tree(12);
   const ModuloMapping map(tree, 7);

@@ -73,6 +73,66 @@ TEST(Workload, RangeQueriesAreNonEmptyAndBounded) {
   }
 }
 
+TEST(Workload, CountZeroYieldsEmptyWorkloads) {
+  const CompleteBinaryTree tree(8);
+  EXPECT_EQ(Workload::subtrees(tree, 7, 0, 1).size(), 0u);
+  EXPECT_EQ(Workload::paths(tree, 4, 0, 1).size(), 0u);
+  EXPECT_EQ(Workload::level_runs(tree, 4, 0, 1).size(), 0u);
+  EXPECT_EQ(Workload::mixed(tree, 7, 0, 1).size(), 0u);
+  EXPECT_EQ(Workload::composites(tree, 12, 3, 0, 1).size(), 0u);
+  EXPECT_EQ(Workload::range_queries(tree, 8, 0, 1).size(), 0u);
+}
+
+TEST(Workload, OversizedTemplatesYieldEmptyNotUB) {
+  // K larger than the tree (or not a valid subtree size at all) must give
+  // a well-formed empty workload, never an assert/out-of-range sample.
+  const CompleteBinaryTree tree(4);  // 15 nodes, 8 leaves
+  EXPECT_EQ(Workload::subtrees(tree, 31, 10, 1).size(), 0u);   // K > size
+  EXPECT_EQ(Workload::subtrees(tree, 10, 10, 1).size(), 0u);   // not 2^t-1
+  EXPECT_EQ(Workload::subtrees(tree, 0, 10, 1).size(), 0u);
+  EXPECT_EQ(Workload::paths(tree, 5, 10, 1).size(), 0u);       // K > levels
+  EXPECT_EQ(Workload::paths(tree, 0, 10, 1).size(), 0u);
+  EXPECT_EQ(Workload::level_runs(tree, 9, 10, 1).size(), 0u);  // K > leaves
+  EXPECT_EQ(Workload::level_runs(tree, 0, 10, 1).size(), 0u);
+  EXPECT_EQ(Workload::mixed(tree, 0, 10, 1).size(), 0u);
+  // D > size/2 exceeds the composite sampler's rejection budget.
+  EXPECT_EQ(Workload::composites(tree, 100, 3, 10, 1).size(), 0u);
+  EXPECT_EQ(Workload::composites(tree, 3, 0, 10, 1).size(), 0u);  // c == 0
+  EXPECT_EQ(Workload::range_queries(tree, 0, 10, 1).size(), 0u);
+}
+
+TEST(Workload, MixedOversizedKDegradesGracefully) {
+  // K beyond every template family still produces valid accesses: each
+  // component is rounded down to what fits (subtree -> largest 2^t - 1,
+  // path -> levels, level run -> empty for K > leaves).
+  const CompleteBinaryTree tree(4);
+  const auto wl = Workload::mixed(tree, 1000, 60, 9);
+  for (const auto& access : wl.accesses()) {
+    ASSERT_FALSE(access.empty());
+    for (const Node& n : access) EXPECT_TRUE(tree.contains(n));
+  }
+}
+
+TEST(Workload, SingleNodeTree) {
+  const CompleteBinaryTree tree(1);
+  const auto subtree = Workload::subtrees(tree, 1, 10, 1);
+  ASSERT_EQ(subtree.size(), 10u);
+  for (const auto& access : subtree.accesses()) {
+    ASSERT_EQ(access.size(), 1u);
+    EXPECT_EQ(access.front(), tree.root());
+  }
+  const auto path = Workload::paths(tree, 1, 5, 1);
+  ASSERT_EQ(path.size(), 5u);
+  const auto runs = Workload::level_runs(tree, 1, 5, 1);
+  ASSERT_EQ(runs.size(), 5u);
+  const auto ranges = Workload::range_queries(tree, 4, 5, 1);
+  ASSERT_EQ(ranges.size(), 5u);
+  for (const auto& access : ranges.accesses()) {
+    for (const Node& n : access) EXPECT_TRUE(tree.contains(n));
+  }
+  EXPECT_EQ(Workload::paths(tree, 2, 5, 1).size(), 0u);  // no 2-node path
+}
+
 TEST(Workload, DeterministicUnderSeed) {
   const CompleteBinaryTree tree(10);
   const auto a = Workload::mixed(tree, 7, 50, 42);
