@@ -24,13 +24,35 @@
 namespace pmtree {
 
 /// Conflicts of a single access set: (max color multiplicity) - 1.
-/// Empty sets cost 0.
+/// Empty sets cost 0. Allocation-free: colors go through the mapping's
+/// batch kernel into thread-local scratch.
 [[nodiscard]] std::uint64_t conflicts(const TreeMapping& mapping,
                                       std::span<const Node> nodes);
 
 /// Serialized memory rounds to serve the access: conflicts + 1 (0 if empty).
 [[nodiscard]] std::uint64_t rounds(const TreeMapping& mapping,
                                    std::span<const Node> nodes);
+
+/// Batch form of conflicts() over a CSR-packed sequence of accesses:
+/// access i is the slice nodes[offsets[i] .. offsets[i+1]), and out[i]
+/// receives its conflict count. All colors are resolved in one
+/// color_of_batch call, so per-access cost is O(access size), independent
+/// of the module count and of the mapping's retrieval cost. Preconditions:
+/// offsets is non-empty and non-decreasing, offsets.front() == 0,
+/// offsets.back() <= nodes.size(), out.size() >= offsets.size() - 1.
+void conflicts_batch(const TreeMapping& mapping, std::span<const Node> nodes,
+                     std::span<const std::uint64_t> offsets,
+                     std::span<std::uint64_t> out);
+
+/// Controls for the evaluate_*/sample_* loops below.
+struct EvalOptions {
+  /// Worker threads: 0 = one per hardware thread. Results — including the
+  /// witness — are bit-identical for every value (see DESIGN.md §7).
+  unsigned threads = 0;
+  /// Families with fewer instances than this stay on the calling thread
+  /// (thread spawn costs more than the scan).
+  std::uint64_t sequential_cutoff = 4096;
+};
 
 /// Summary of a family evaluation.
 struct FamilyCost {
@@ -43,32 +65,41 @@ struct FamilyCost {
 
 /// Exhaustive Cost(U, S(K), M) over every size-K subtree of U's tree.
 [[nodiscard]] FamilyCost evaluate_subtrees(const TreeMapping& mapping,
-                                           std::uint64_t K);
+                                           std::uint64_t K,
+                                           const EvalOptions& opts = {});
 
 /// Exhaustive Cost(U, L(K), M).
 [[nodiscard]] FamilyCost evaluate_level_runs(const TreeMapping& mapping,
-                                             std::uint64_t K);
+                                             std::uint64_t K,
+                                             const EvalOptions& opts = {});
 
 /// Exhaustive Cost(U, P(K), M).
 [[nodiscard]] FamilyCost evaluate_paths(const TreeMapping& mapping,
-                                        std::uint64_t K);
+                                        std::uint64_t K,
+                                        const EvalOptions& opts = {});
 
 /// Exhaustive cost over the TP(K, j) family of Lemma 1 for every j.
-[[nodiscard]] FamilyCost evaluate_tp(const TreeMapping& mapping, std::uint64_t K);
+[[nodiscard]] FamilyCost evaluate_tp(const TreeMapping& mapping, std::uint64_t K,
+                                     const EvalOptions& opts = {});
 
-/// Sampled cost estimates (max over `samples` random instances).
+/// Sampled cost estimates (max over `samples` random instances). Instances
+/// are drawn sequentially from `rng` (the stream is identical to a fully
+/// sequential run), then evaluated with the same parallel reduction as
+/// evaluate_*.
 [[nodiscard]] FamilyCost sample_subtrees(const TreeMapping& mapping,
                                          std::uint64_t K, std::uint64_t samples,
-                                         Rng& rng);
+                                         Rng& rng, const EvalOptions& opts = {});
 [[nodiscard]] FamilyCost sample_level_runs(const TreeMapping& mapping,
                                            std::uint64_t K, std::uint64_t samples,
-                                           Rng& rng);
+                                           Rng& rng, const EvalOptions& opts = {});
 [[nodiscard]] FamilyCost sample_paths(const TreeMapping& mapping, std::uint64_t K,
-                                      std::uint64_t samples, Rng& rng);
+                                      std::uint64_t samples, Rng& rng,
+                                      const EvalOptions& opts = {});
 
 /// Sampled cost over composite templates C(D, c).
 [[nodiscard]] FamilyCost sample_composites(const TreeMapping& mapping,
                                            std::uint64_t D, std::uint64_t c,
-                                           std::uint64_t samples, Rng& rng);
+                                           std::uint64_t samples, Rng& rng,
+                                           const EvalOptions& opts = {});
 
 }  // namespace pmtree

@@ -29,6 +29,14 @@ class ModuloMapping final : public TreeMapping {
   [[nodiscard]] Color color_of(Node n) const override {
     return static_cast<Color>(bfs_id(n) % M_);
   }
+  /// Branch-free arithmetic loop — no virtual dispatch per node.
+  void color_of_batch(std::span<const Node> nodes,
+                      std::span<Color> out) const override {
+    const std::uint64_t M = M_;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      out[i] = static_cast<Color>(bfs_id(nodes[i]) % M);
+    }
+  }
   [[nodiscard]] std::uint32_t num_modules() const noexcept override { return M_; }
   [[nodiscard]] std::string name() const override {
     return "MODULO(M=" + std::to_string(M_) + ")";
@@ -45,6 +53,14 @@ class LevelShiftMapping final : public TreeMapping {
 
   [[nodiscard]] Color color_of(Node n) const override {
     return static_cast<Color>((n.level + n.index) % M_);
+  }
+  /// Branch-free arithmetic loop — no virtual dispatch per node.
+  void color_of_batch(std::span<const Node> nodes,
+                      std::span<Color> out) const override {
+    const std::uint64_t M = M_;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      out[i] = static_cast<Color>((nodes[i].level + nodes[i].index) % M);
+    }
   }
   [[nodiscard]] std::uint32_t num_modules() const noexcept override { return M_; }
   [[nodiscard]] std::string name() const override {
@@ -69,6 +85,12 @@ class LevelModMapping final : public TreeMapping {
   [[nodiscard]] Color color_of(Node n) const override {
     return static_cast<Color>(n.level % M_);
   }
+  void color_of_batch(std::span<const Node> nodes,
+                      std::span<Color> out) const override {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      out[i] = static_cast<Color>(nodes[i].level % M_);
+    }
+  }
   [[nodiscard]] std::uint32_t num_modules() const noexcept override { return M_; }
   [[nodiscard]] std::string name() const override {
     return "LEVEL-MOD(M=" + std::to_string(M_) + ")";
@@ -85,6 +107,13 @@ class RandomMapping final : public TreeMapping {
 
   [[nodiscard]] Color color_of(Node n) const override {
     return static_cast<Color>(mix64(bfs_id(n) ^ seed_) % M_);
+  }
+  void color_of_batch(std::span<const Node> nodes,
+                      std::span<Color> out) const override {
+    const std::uint64_t M = M_;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      out[i] = static_cast<Color>(mix64(bfs_id(nodes[i]) ^ seed_) % M);
+    }
   }
   [[nodiscard]] std::uint32_t num_modules() const noexcept override { return M_; }
   [[nodiscard]] std::string name() const override {

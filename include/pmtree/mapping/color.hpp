@@ -88,6 +88,33 @@ class ColorMapping : public TreeMapping {
   /// O(H) time with kLazy, O(H/(N-k)) with kBlockTable.
   [[nodiscard]] Color color_of(Node n) const override;
 
+  /// Block-aware batch kernel. The per-node chase of §3.2 re-derives two
+  /// shared prefixes over and over: the colors of the tree's top levels
+  /// (where every chase terminates) and each block's Gamma list (which
+  /// every block-last node of the block reads). The batch resolver pays
+  /// for them once instead of once per node:
+  ///
+  ///   * a truncated materialization of the top min(H, 20) levels (built
+  ///     lazily on first use, shared across calls and copies) turns any
+  ///     chase step that lands above the horizon into one lookup;
+  ///   * a position-only block resolution table (the kBlockTable table,
+  ///     built for the batch path even under kLazy when it fits) collapses
+  ///     the within-block chase to one lookup;
+  ///   * when the top table covers a whole block, every chase provably
+  ///     terminates in a top-table gather; the kernel then runs two
+  ///     phases — a branch-free arithmetic chase (each jump is one
+  ///     precomposed Step lookup) that emits terminal BFS ids, then one
+  ///     tight gather loop whose independent loads the CPU overlaps;
+  ///   * outside the fast path, input runs inside one block share that
+  ///     block's resolved Gamma entries through a per-block memo, so a
+  ///     group of nodes triggers each Gamma chase once per block.
+  ///
+  /// Net: N nodes x O(H) chases become O(H/(N-k)) branch-free arithmetic
+  /// steps plus O(1) gathers per node. Identical colors to color_of in
+  /// every retrieval mode.
+  void color_of_batch(std::span<const Node> nodes,
+                      std::span<Color> out) const override;
+
   [[nodiscard]] std::string name() const override;
 
   /// Colors of the whole tree indexed by bfs_id — the O(2^H) table the
@@ -110,11 +137,49 @@ class ColorMapping : public TreeMapping {
   [[nodiscard]] Resolution resolve_in_block(std::uint32_t r,
                                             std::uint64_t irel) const noexcept;
 
+  /// Shared state of the batch kernel: the resolved-once block prefixes.
+  /// Built lazily by accel() on first color_of_batch call (atomically
+  /// published, so concurrent batch calls are safe) and shared by copies;
+  /// immutable once published.
+  /// One inheritance-chase jump, compiled to branch-free arithmetic. A
+  /// chase step from block position (r, irel) of block (ib, jb) lands on
+  /// either a Gamma node of the parent generation or a shared top-k node —
+  /// both have the closed form
+  ///   level = jb*stride + dlevel,  index = ((ib >> rshift) << lshift) + add
+  /// so one 8-byte table entry replaces the resolve + from_gamma branch +
+  /// gamma_node/subtree_node_at call of the scalar chase.
+  struct Step {
+    std::int8_t dlevel = 0;
+    std::uint8_t rshift = 0;
+    std::uint8_t lshift = 0;
+    std::uint32_t add = 0;
+  };
+
+  struct BatchAccel {
+    std::uint32_t top_levels = 0;  ///< levels [0, top_levels) materialized
+    std::vector<Color> top_colors;
+    std::vector<Resolution> block_table;  ///< kLazy batch path; empty if too big
+    /// Fast-chase tables, built when the top table covers a whole block
+    /// (then every chase provably terminates in a top-table gather).
+    /// Per level j >= k: block-relative level r, block root level jb*stride,
+    /// and 2^r - 1 (the level's offset into the position table) — three L1
+    /// lookups replace the per-step division by the stride.
+    std::vector<std::uint8_t> r_of;
+    std::vector<std::uint8_t> root_of;
+    std::vector<std::uint32_t> pos_base;
+    std::vector<Step> steps;  ///< composed jump per block position
+  };
+  [[nodiscard]] const BatchAccel& accel() const;
+
+  /// Colors of the top `levels` levels by bfs_id — materialize() truncated.
+  [[nodiscard]] std::vector<Color> materialize_prefix(std::uint32_t levels) const;
+
   std::uint32_t n_;  ///< N: levels per block
   std::uint32_t k_;  ///< k: log2(K+1)
   internal::GammaVariant variant_;
   Retrieval retrieval_;
   std::vector<Resolution> block_table_;  ///< kBlockTable: 2^min(N,H) - 1 entries
+  mutable std::shared_ptr<const BatchAccel> accel_;
 };
 
 /// BASIC-COLOR(B, N, K): the single-block special case — a tree of at most
@@ -134,6 +199,13 @@ class EagerColorMapping final : public TreeMapping {
 
   [[nodiscard]] Color color_of(Node n) const override {
     return table_[bfs_id(n)];
+  }
+  /// Devirtualized table gather.
+  void color_of_batch(std::span<const Node> nodes,
+                      std::span<Color> out) const override {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      out[i] = table_[bfs_id(nodes[i])];
+    }
   }
   [[nodiscard]] std::uint32_t num_modules() const noexcept override {
     return modules_;

@@ -42,6 +42,13 @@ class PermutedMapping final : public TreeMapping {
   [[nodiscard]] Color color_of(Node n) const override {
     return perm_[base_.color_of(n)];
   }
+  /// Delegates to the base's batch kernel, then permutes in place — the
+  /// wrapper adds one pass, not one virtual call per node.
+  void color_of_batch(std::span<const Node> nodes,
+                      std::span<Color> out) const override {
+    base_.color_of_batch(nodes, out);
+    for (std::size_t i = 0; i < nodes.size(); ++i) out[i] = perm_[out[i]];
+  }
   [[nodiscard]] std::uint32_t num_modules() const noexcept override {
     return base_.num_modules();
   }

@@ -67,6 +67,10 @@ class LabelTreeMapping final : public TreeMapping {
                    std::uint32_t l_override = 0);
 
   [[nodiscard]] Color color_of(Node n) const override;
+  /// Devirtualized loop over the (table or recursive) sigma resolution —
+  /// one virtual call per batch instead of one per node.
+  void color_of_batch(std::span<const Node> nodes,
+                      std::span<Color> out) const override;
   [[nodiscard]] std::uint32_t num_modules() const noexcept override { return M_; }
   [[nodiscard]] std::string name() const override;
 

@@ -37,6 +37,15 @@ class TreeMapping {
   /// The module storing node `n`. Precondition: tree().contains(n).
   [[nodiscard]] virtual Color color_of(Node n) const = 0;
 
+  /// Batch retrieval kernel: `out[i] = color_of(nodes[i])` for every i.
+  /// Precondition: out.size() >= nodes.size(). The base implementation is a
+  /// per-node loop; concrete mappings override it with devirtualized fast
+  /// paths (table gathers, branch-free arithmetic loops, and ColorMapping's
+  /// block-aware resolver that amortizes the §3.2 inheritance chase across
+  /// the batch). Thread-safe: concurrent calls on one mapping are allowed.
+  virtual void color_of_batch(std::span<const Node> nodes,
+                              std::span<Color> out) const;
+
   /// Number of memory modules (colors) the mapping may use.
   [[nodiscard]] virtual std::uint32_t num_modules() const noexcept = 0;
 
@@ -45,7 +54,7 @@ class TreeMapping {
 
   [[nodiscard]] const CompleteBinaryTree& tree() const noexcept { return tree_; }
 
-  /// Bulk retrieval convenience.
+  /// Bulk retrieval convenience; routed through color_of_batch.
   [[nodiscard]] std::vector<Color> colors_of(std::span<const Node> nodes) const;
 
  private:

@@ -69,6 +69,7 @@ class MemorySystem {
   const TreeMapping& mapping_;
   std::vector<std::uint64_t> traffic_;
   std::vector<std::uint32_t> scratch_;  ///< per-access occupancy histogram
+  std::vector<Color> colors_;           ///< per-access batch color buffer
   Accumulator round_stats_;
   std::uint64_t ideal_rounds_ = 0;
 };

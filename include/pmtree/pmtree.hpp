@@ -45,6 +45,7 @@
 #include "pmtree/tree/node.hpp"
 #include "pmtree/tree/tree.hpp"
 #include "pmtree/util/bits.hpp"
+#include "pmtree/util/parallel.hpp"
 #include "pmtree/util/rng.hpp"
 #include "pmtree/util/stats.hpp"
 #include "pmtree/util/table.hpp"

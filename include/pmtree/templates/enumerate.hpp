@@ -40,6 +40,35 @@ void for_each_path(const CompleteBinaryTree& tree, std::uint64_t K,
 void for_each_tp(const CompleteBinaryTree& tree, std::uint64_t K, std::uint32_t j,
                  const std::function<bool(const CompositeInstance&)>& visit);
 
+// Indexed (random-access) forms of the enumerations above. `*_at(tree, K,
+// idx)` returns the instance that the matching for_each_* visits at step
+// `idx` — exactly the same order — so a chunked parallel loop over
+// [0, count_*) sees the family identically to the sequential visitor.
+// Preconditions: same as the enumerator, plus idx < the matching count.
+
+/// Instance `idx` of S^T(K) in for_each_subtree order. (The roots are
+/// visited in BFS-id order, so this is node_at(idx).)
+[[nodiscard]] SubtreeInstance subtree_at(const CompleteBinaryTree& tree,
+                                         std::uint64_t K, std::uint64_t idx);
+
+/// Instance `idx` of L^T(K) in for_each_level_run order.
+[[nodiscard]] LevelRunInstance level_run_at(const CompleteBinaryTree& tree,
+                                            std::uint64_t K, std::uint64_t idx);
+
+/// Instance `idx` of P^T(K) in for_each_path order.
+[[nodiscard]] PathInstance path_at(const CompleteBinaryTree& tree,
+                                   std::uint64_t K, std::uint64_t idx);
+
+/// Instance `idx` of the union of TP_K(., j) families for j = 1..levels,
+/// in (j ascending, i ascending) order — the order evaluate_tp scans.
+/// (Anchors are visited in BFS-id order, so the anchor is node_at(idx).)
+[[nodiscard]] CompositeInstance tp_at(const CompleteBinaryTree& tree,
+                                      std::uint64_t K, std::uint64_t idx);
+
+/// Total TP_K(i, j) instances over all j = 1..levels: one per anchor node,
+/// i.e. tree.size().
+[[nodiscard]] std::uint64_t count_tp(const CompleteBinaryTree& tree);
+
 /// |S^T(K)|: number of size-K subtree instances.
 [[nodiscard]] std::uint64_t count_subtrees(const CompleteBinaryTree& tree,
                                            std::uint64_t K);

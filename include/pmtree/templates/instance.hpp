@@ -54,6 +54,9 @@ struct SubtreeInstance {
 
   /// Nodes in BFS (level-by-level, left-to-right) order.
   [[nodiscard]] std::vector<Node> nodes() const;
+  /// Appends nodes() to `out` without clearing it — the allocation-free
+  /// form the evaluation loops feed a reused buffer through.
+  void append_nodes(std::vector<Node>& out) const;
 };
 
 /// L_K(i, j): `size` consecutive nodes of one level starting at `first`.
@@ -67,6 +70,8 @@ struct LevelRunInstance {
 
   /// Nodes left-to-right.
   [[nodiscard]] std::vector<Node> nodes() const;
+  /// Appends nodes() to `out` without clearing it.
+  void append_nodes(std::vector<Node>& out) const;
 };
 
 /// P_K(i, j): `size` nodes of the ascending path starting at `start`
@@ -81,6 +86,8 @@ struct PathInstance {
 
   /// Nodes bottom-up (start first, topmost ancestor last).
   [[nodiscard]] std::vector<Node> nodes() const;
+  /// Appends nodes() to `out` without clearing it.
+  void append_nodes(std::vector<Node>& out) const;
 };
 
 /// Any elementary instance.
@@ -106,6 +113,10 @@ class ElementaryInstance {
 
   [[nodiscard]] std::vector<Node> nodes() const {
     return std::visit([](const auto& i) { return i.nodes(); }, alt_);
+  }
+
+  void append_nodes(std::vector<Node>& out) const {
+    std::visit([&](const auto& i) { i.append_nodes(out); }, alt_);
   }
 
   template <typename T>
@@ -143,6 +154,8 @@ class CompositeInstance {
 
   /// All nodes, concatenated in component order.
   [[nodiscard]] std::vector<Node> nodes() const;
+  /// Appends nodes() to `out` without clearing it.
+  void append_nodes(std::vector<Node>& out) const;
 
   /// True iff the components are pairwise node-disjoint (the paper's
   /// C-template requires this). O(D log D).

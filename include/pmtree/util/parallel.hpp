@@ -1,0 +1,70 @@
+// Deterministic chunked parallel-for.
+//
+// The analysis layer wants wall-clock parallelism without giving up the
+// library's reproducibility guarantees, so the primitive here is shaped
+// for deterministic reductions rather than generality: the index space
+// [0, count) is cut into fixed-size chunks, worker threads claim chunks
+// from a shared atomic counter, and the body receives (thread_id, begin,
+// end). Two properties matter to callers:
+//
+//   * chunk boundaries depend only on (count, grain) — never on timing —
+//     so any per-index work is identical across runs and thread counts;
+//   * a given thread claims chunks in increasing order, so per-thread
+//     accumulators see their indices ascending, which lets a reduction
+//     keep "first index attaining the maximum" semantics exactly (see
+//     CostAccumulator in src/analysis/cost.cpp).
+//
+// With threads == 1 (or a single chunk) everything runs inline on the
+// calling thread and no std::thread is spawned.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace pmtree {
+
+/// Resolves a requested worker count: 0 means one worker per hardware
+/// thread (at least 1 when the runtime cannot tell).
+[[nodiscard]] inline unsigned resolve_threads(unsigned requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// Runs body(thread_id, begin, end) over [0, count) in chunks of `grain`
+/// indices. thread_id < threads; each index is visited exactly once.
+/// Exceptions escaping `body` on a worker thread terminate (the analysis
+/// bodies do not throw).
+template <typename Body>
+void parallel_chunks(std::uint64_t count, unsigned threads,
+                     std::uint64_t grain, Body&& body) {
+  threads = std::max(threads, 1u);
+  grain = std::max<std::uint64_t>(grain, 1);
+  if (count == 0) return;
+  const std::uint64_t num_chunks = (count + grain - 1) / grain;
+  if (threads == 1 || num_chunks == 1) {
+    body(0u, std::uint64_t{0}, count);
+    return;
+  }
+
+  std::atomic<std::uint64_t> next{0};
+  const auto worker = [&](unsigned tid) {
+    while (true) {
+      const std::uint64_t chunk = next.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= num_chunks) return;
+      const std::uint64_t begin = chunk * grain;
+      body(tid, begin, std::min(count, begin + grain));
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (unsigned t = 1; t < threads; ++t) pool.emplace_back(worker, t);
+  worker(0u);
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace pmtree

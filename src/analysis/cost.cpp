@@ -1,154 +1,293 @@
 #include "pmtree/analysis/cost.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 #include "pmtree/templates/enumerate.hpp"
 #include "pmtree/templates/sampler.hpp"
+#include "pmtree/util/parallel.hpp"
 
 namespace pmtree {
 
 namespace {
 
-/// Max color multiplicity of the node set, via a small scratch histogram.
-std::uint64_t max_multiplicity(const TreeMapping& mapping,
-                               std::span<const Node> nodes,
-                               std::vector<std::uint32_t>& histogram) {
-  histogram.assign(mapping.num_modules(), 0);
-  std::uint32_t worst = 0;
-  for (const Node& n : nodes) {
-    const Color c = mapping.color_of(n);
-    worst = std::max(worst, ++histogram[c]);
-  }
-  return worst;
-}
+/// Instances per chunk of the parallel scan. Only a throughput knob: chunk
+/// boundaries never influence results (see util/parallel.hpp).
+constexpr std::uint64_t kEvalGrain = 1024;
 
 /// Shared accumulation loop for the evaluate_/sample_ functions.
+///
+/// The sequential scan keeps the witness of the *first* instance attaining
+/// the final maximum. To reproduce that bit-for-bit under the chunked
+/// parallel scan, observe() takes the instance's global index: each thread
+/// sees its indices in ascending order (parallel_chunks guarantees it), so
+/// per-thread state is "max, sum, count, and the lowest index attaining
+/// max"; merging two states by (max descending, index ascending) is
+/// order-independent and lands on exactly the sequential answer. Sums are
+/// integers, so the mean is exact too.
 class CostAccumulator {
  public:
   explicit CostAccumulator(const TreeMapping& mapping) : mapping_(mapping) {}
 
-  void observe(std::vector<Node> nodes) {
-    const std::uint64_t mult = max_multiplicity(mapping_, nodes, scratch_);
-    const std::uint64_t cost = mult == 0 ? 0 : mult - 1;
-    result_.instances += 1;
-    sum_ += cost;
-    if (result_.witness.empty() || cost > result_.max_conflicts) {
-      result_.witness = std::move(nodes);
+  void observe(std::uint64_t index, std::span<const Node> nodes) {
+    colors_.resize(nodes.size());
+    mapping_.color_of_batch(nodes, colors_);
+    if (histogram_.size() < mapping_.num_modules()) {
+      histogram_.assign(mapping_.num_modules(), 0);
     }
-    result_.max_conflicts = std::max(result_.max_conflicts, cost);
+    std::uint32_t worst = 0;
+    for (const Color c : colors_) worst = std::max(worst, ++histogram_[c]);
+    for (const Color c : colors_) histogram_[c] = 0;  // O(|nodes|) reset
+    const std::uint64_t cost = worst == 0 ? 0 : worst - 1;
+
+    count_ += 1;
+    sum_ += cost;
+    // Copy the nodes only when this instance becomes the witness; indices
+    // ascend within a thread, so no index tie-check is needed here.
+    if (!has_witness_ || cost > max_) {
+      max_ = std::max(max_, cost);
+      witness_.assign(nodes.begin(), nodes.end());
+      witness_index_ = index;
+      has_witness_ = true;
+    }
+  }
+
+  /// Folds `other` in. Commutative and associative, so any merge order
+  /// (and any thread count) yields the same state.
+  void merge(CostAccumulator&& other) {
+    sum_ += other.sum_;
+    count_ += other.count_;
+    if (!other.has_witness_) return;
+    if (!has_witness_ || other.max_ > max_ ||
+        (other.max_ == max_ && other.witness_index_ < witness_index_)) {
+      max_ = std::max(max_, other.max_);
+      witness_ = std::move(other.witness_);
+      witness_index_ = other.witness_index_;
+      has_witness_ = true;
+    }
   }
 
   [[nodiscard]] FamilyCost take() {
-    result_.mean_conflicts =
-        result_.instances == 0
-            ? 0.0
-            : static_cast<double>(sum_) / static_cast<double>(result_.instances);
-    return std::move(result_);
+    FamilyCost result;
+    result.max_conflicts = max_;
+    result.instances = count_;
+    result.mean_conflicts =
+        count_ == 0 ? 0.0
+                    : static_cast<double>(sum_) / static_cast<double>(count_);
+    result.witness = std::move(witness_);
+    return result;
   }
 
  private:
   const TreeMapping& mapping_;
-  std::vector<std::uint32_t> scratch_;
-  FamilyCost result_;
+  std::vector<Color> colors_;            // scratch, reused across observes
+  std::vector<std::uint32_t> histogram_;  // scratch, kept zeroed
+  std::vector<Node> witness_;
+  std::uint64_t witness_index_ = 0;
+  std::uint64_t max_ = 0;
   std::uint64_t sum_ = 0;
+  std::uint64_t count_ = 0;
+  bool has_witness_ = false;
 };
+
+/// Evaluates instances [0, total) of an indexed family. `append(idx, buf)`
+/// appends instance idx's nodes to buf (cleared by the driver).
+template <typename AppendNodes>
+FamilyCost evaluate_indexed(const TreeMapping& mapping, std::uint64_t total,
+                            const EvalOptions& opts,
+                            const AppendNodes& append) {
+  unsigned threads = resolve_threads(opts.threads);
+  if (total < opts.sequential_cutoff) threads = 1;
+
+  if (threads == 1) {
+    CostAccumulator acc(mapping);
+    std::vector<Node> buf;
+    for (std::uint64_t i = 0; i < total; ++i) {
+      buf.clear();
+      append(i, buf);
+      acc.observe(i, buf);
+    }
+    return acc.take();
+  }
+
+  std::vector<CostAccumulator> accs(threads, CostAccumulator(mapping));
+  std::vector<std::vector<Node>> bufs(threads);
+  parallel_chunks(total, threads, kEvalGrain,
+                  [&](unsigned tid, std::uint64_t begin, std::uint64_t end) {
+                    auto& acc = accs[tid];
+                    auto& buf = bufs[tid];
+                    for (std::uint64_t i = begin; i < end; ++i) {
+                      buf.clear();
+                      append(i, buf);
+                      acc.observe(i, buf);
+                    }
+                  });
+  for (unsigned t = 1; t < threads; ++t) accs[0].merge(std::move(accs[t]));
+  return accs[0].take();
+}
+
+/// Sampled families: instances are drawn sequentially (identical Rng
+/// stream at every thread count), then evaluated as an indexed family.
+template <typename Instance>
+FamilyCost evaluate_presampled(const TreeMapping& mapping,
+                               const std::vector<Instance>& instances,
+                               const EvalOptions& opts) {
+  return evaluate_indexed(mapping, instances.size(), opts,
+                          [&](std::uint64_t i, std::vector<Node>& buf) {
+                            instances[i].append_nodes(buf);
+                          });
+}
 
 }  // namespace
 
 std::uint64_t conflicts(const TreeMapping& mapping, std::span<const Node> nodes) {
-  std::vector<std::uint32_t> histogram;
-  const std::uint64_t mult = max_multiplicity(mapping, nodes, histogram);
+  const std::uint64_t mult = rounds(mapping, nodes);
   return mult == 0 ? 0 : mult - 1;
 }
 
 std::uint64_t rounds(const TreeMapping& mapping, std::span<const Node> nodes) {
-  std::vector<std::uint32_t> histogram;
-  return max_multiplicity(mapping, nodes, histogram);
-}
-
-FamilyCost evaluate_subtrees(const TreeMapping& mapping, std::uint64_t K) {
-  CostAccumulator acc(mapping);
-  for_each_subtree(mapping.tree(), K, [&](const SubtreeInstance& s) {
-    acc.observe(s.nodes());
-    return true;
-  });
-  return acc.take();
-}
-
-FamilyCost evaluate_level_runs(const TreeMapping& mapping, std::uint64_t K) {
-  CostAccumulator acc(mapping);
-  for_each_level_run(mapping.tree(), K, [&](const LevelRunInstance& l) {
-    acc.observe(l.nodes());
-    return true;
-  });
-  return acc.take();
-}
-
-FamilyCost evaluate_paths(const TreeMapping& mapping, std::uint64_t K) {
-  CostAccumulator acc(mapping);
-  for_each_path(mapping.tree(), K, [&](const PathInstance& p) {
-    acc.observe(p.nodes());
-    return true;
-  });
-  return acc.take();
-}
-
-FamilyCost evaluate_tp(const TreeMapping& mapping, std::uint64_t K) {
-  CostAccumulator acc(mapping);
-  for (std::uint32_t j = 1; j <= mapping.tree().levels(); ++j) {
-    for_each_tp(mapping.tree(), K, j, [&](const CompositeInstance& tp) {
-      acc.observe(tp.nodes());
-      return true;
-    });
+  thread_local std::vector<Color> colors;
+  thread_local std::vector<std::uint32_t> histogram;
+  colors.resize(nodes.size());
+  mapping.color_of_batch(nodes, colors);
+  if (histogram.size() < mapping.num_modules()) {
+    histogram.assign(mapping.num_modules(), 0);
   }
-  return acc.take();
+  std::uint32_t worst = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    worst = std::max(worst, ++histogram[colors[i]]);
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i) histogram[colors[i]] = 0;
+  return worst;
+}
+
+void conflicts_batch(const TreeMapping& mapping, std::span<const Node> nodes,
+                     std::span<const std::uint64_t> offsets,
+                     std::span<std::uint64_t> out) {
+  assert(!offsets.empty());
+  assert(offsets.front() == 0 && offsets.back() <= nodes.size());
+  const std::size_t accesses = offsets.size() - 1;
+  assert(out.size() >= accesses);
+
+  thread_local std::vector<Color> colors;
+  thread_local std::vector<std::uint32_t> histogram;
+  colors.resize(nodes.size());
+  mapping.color_of_batch(nodes, colors);
+  if (histogram.size() < mapping.num_modules()) {
+    histogram.assign(mapping.num_modules(), 0);
+  }
+  for (std::size_t a = 0; a < accesses; ++a) {
+    assert(offsets[a] <= offsets[a + 1]);
+    std::uint32_t worst = 0;
+    for (std::uint64_t j = offsets[a]; j < offsets[a + 1]; ++j) {
+      worst = std::max(worst, ++histogram[colors[j]]);
+    }
+    for (std::uint64_t j = offsets[a]; j < offsets[a + 1]; ++j) {
+      histogram[colors[j]] = 0;
+    }
+    out[a] = worst == 0 ? 0 : worst - 1;
+  }
+}
+
+FamilyCost evaluate_subtrees(const TreeMapping& mapping, std::uint64_t K,
+                             const EvalOptions& opts) {
+  const auto& tree = mapping.tree();
+  return evaluate_indexed(mapping, count_subtrees(tree, K), opts,
+                          [&](std::uint64_t i, std::vector<Node>& buf) {
+                            subtree_at(tree, K, i).append_nodes(buf);
+                          });
+}
+
+FamilyCost evaluate_level_runs(const TreeMapping& mapping, std::uint64_t K,
+                               const EvalOptions& opts) {
+  const auto& tree = mapping.tree();
+  return evaluate_indexed(mapping, count_level_runs(tree, K), opts,
+                          [&](std::uint64_t i, std::vector<Node>& buf) {
+                            level_run_at(tree, K, i).append_nodes(buf);
+                          });
+}
+
+FamilyCost evaluate_paths(const TreeMapping& mapping, std::uint64_t K,
+                          const EvalOptions& opts) {
+  const auto& tree = mapping.tree();
+  return evaluate_indexed(mapping, count_paths(tree, K), opts,
+                          [&](std::uint64_t i, std::vector<Node>& buf) {
+                            path_at(tree, K, i).append_nodes(buf);
+                          });
+}
+
+FamilyCost evaluate_tp(const TreeMapping& mapping, std::uint64_t K,
+                       const EvalOptions& opts) {
+  const auto& tree = mapping.tree();
+  const std::uint32_t k = tree_levels(K);
+  // Anchors in BFS order == (j ascending, i ascending) — the same instance
+  // per index as tp_at, built without the CompositeInstance allocations.
+  return evaluate_indexed(
+      mapping, count_tp(tree), opts,
+      [&](std::uint64_t i, std::vector<Node>& buf) {
+        const Node anchor = node_at(i);
+        const std::uint32_t sub_levels =
+            std::min(k, tree.levels() - anchor.level);
+        SubtreeInstance{anchor, tree_size(sub_levels)}.append_nodes(buf);
+        if (anchor.level >= 1) {
+          PathInstance{parent(anchor), anchor.level}.append_nodes(buf);
+        }
+      });
 }
 
 FamilyCost sample_subtrees(const TreeMapping& mapping, std::uint64_t K,
-                           std::uint64_t samples, Rng& rng) {
-  CostAccumulator acc(mapping);
+                           std::uint64_t samples, Rng& rng,
+                           const EvalOptions& opts) {
+  std::vector<SubtreeInstance> drawn;
+  drawn.reserve(samples);
   for (std::uint64_t s = 0; s < samples; ++s) {
     if (auto inst = sample_subtree(mapping.tree(), K, rng)) {
-      acc.observe(inst->nodes());
+      drawn.push_back(*inst);
     }
   }
-  return acc.take();
+  return evaluate_presampled(mapping, drawn, opts);
 }
 
 FamilyCost sample_level_runs(const TreeMapping& mapping, std::uint64_t K,
-                             std::uint64_t samples, Rng& rng) {
-  CostAccumulator acc(mapping);
+                             std::uint64_t samples, Rng& rng,
+                             const EvalOptions& opts) {
+  std::vector<LevelRunInstance> drawn;
+  drawn.reserve(samples);
   for (std::uint64_t s = 0; s < samples; ++s) {
     if (auto inst = sample_level_run(mapping.tree(), K, rng)) {
-      acc.observe(inst->nodes());
+      drawn.push_back(*inst);
     }
   }
-  return acc.take();
+  return evaluate_presampled(mapping, drawn, opts);
 }
 
 FamilyCost sample_paths(const TreeMapping& mapping, std::uint64_t K,
-                        std::uint64_t samples, Rng& rng) {
-  CostAccumulator acc(mapping);
+                        std::uint64_t samples, Rng& rng,
+                        const EvalOptions& opts) {
+  std::vector<PathInstance> drawn;
+  drawn.reserve(samples);
   for (std::uint64_t s = 0; s < samples; ++s) {
     if (auto inst = sample_path(mapping.tree(), K, rng)) {
-      acc.observe(inst->nodes());
+      drawn.push_back(*inst);
     }
   }
-  return acc.take();
+  return evaluate_presampled(mapping, drawn, opts);
 }
 
 FamilyCost sample_composites(const TreeMapping& mapping, std::uint64_t D,
-                             std::uint64_t c, std::uint64_t samples, Rng& rng) {
-  CostAccumulator acc(mapping);
+                             std::uint64_t c, std::uint64_t samples, Rng& rng,
+                             const EvalOptions& opts) {
   CompositeSpec spec;
   spec.total_size = D;
   spec.components = c;
+  std::vector<CompositeInstance> drawn;
+  drawn.reserve(samples);
   for (std::uint64_t s = 0; s < samples; ++s) {
     if (auto inst = sample_composite(mapping.tree(), spec, rng)) {
-      acc.observe(inst->nodes());
+      drawn.push_back(std::move(*inst));
     }
   }
-  return acc.take();
+  return evaluate_presampled(mapping, drawn, opts);
 }
 
 }  // namespace pmtree

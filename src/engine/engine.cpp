@@ -54,6 +54,20 @@ EngineResult CycleEngine::run(const Workload& workload,
   std::vector<std::deque<std::uint64_t>> queues(modules);
   std::vector<std::uint64_t> outstanding(n, 0);
 
+  // Resolve every access's colors once up front through the batch kernel —
+  // one virtual call for the whole workload, and ColorMapping amortizes
+  // its inheritance chase across it (see mapping/color.hpp). `first[i]`
+  // slices the flat color array per access.
+  std::vector<Node> flat;
+  std::vector<std::size_t> first(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Workload::Access& access = workload[i];
+    flat.insert(flat.end(), access.begin(), access.end());
+    first[i + 1] = flat.size();
+  }
+  std::vector<Color> colors(flat.size());
+  mapping_.color_of_batch(flat, colors);
+
   std::uint64_t t = 0;         // current cycle
   std::size_t next = 0;        // next access to admit
   std::size_t done = 0;        // accesses completed
@@ -75,8 +89,8 @@ EngineResult CycleEngine::run(const Workload& workload,
       return;
     }
     in_flight += 1;
-    for (const Node& node : access) {
-      queues[mapping_.color_of(node)].push_back(i);
+    for (std::size_t r = first[i]; r < first[i + 1]; ++r) {
+      queues[colors[r]].push_back(i);
     }
   };
 

@@ -114,11 +114,244 @@ Color ColorMapping::color_of(Node nd) const {
   }
 }
 
+const ColorMapping::BatchAccel& ColorMapping::accel() const {
+  if (auto cur = std::atomic_load_explicit(&accel_, std::memory_order_acquire)) {
+    return *cur;
+  }
+  // Space caps: the top-color horizon is at most 2^20 - 1 entries (4 MiB)
+  // and the batch-path block table at most 2^20 - 1 Resolutions. Beyond
+  // them the batch kernel degrades gracefully to the per-node chase.
+  constexpr std::uint32_t kTopLevelCap = 20;
+  constexpr std::uint64_t kBlockTableCap = std::uint64_t{1} << 20;
+
+  auto built = std::make_shared<BatchAccel>();
+  const std::uint32_t top = std::min(tree().levels(), kTopLevelCap);
+  if (top > k_) {
+    built->top_levels = top;
+    built->top_colors = materialize_prefix(top);
+  }
+  // Under kLazy the within-block resolution has no table; build one for the
+  // batch path unless the top table already covers the whole tree (then no
+  // chase ever consults it) or a block is too large to tabulate.
+  if (retrieval_ == Retrieval::kLazy && top < tree().levels()) {
+    const std::uint32_t cap = std::min(n_, tree().levels());
+    if (tree_size(cap) <= kBlockTableCap) {
+      built->block_table.resize(tree_size(cap));
+      for (std::uint64_t pos = 0; pos < built->block_table.size(); ++pos) {
+        const std::uint32_t r = floor_log2(pos + 1);
+        built->block_table[pos] = resolve_in_block(r, pos + 1 - pow2(r));
+      }
+    }
+  }
+  // Fast-chase tables: precompose every block-relative position's jump into
+  // a branch-free Step, plus per-level (r, root level, position base)
+  // lookups. Only meaningful when the top table covers a whole block, so
+  // every chase ends in a top-table gather (see color_of_batch).
+  const std::vector<Resolution>* btab =
+      retrieval_ == Retrieval::kBlockTable
+          ? &block_table_
+          : (built->block_table.empty() ? nullptr : &built->block_table);
+  if (btab != nullptr && built->top_levels >= n_ &&
+      tree().levels() > built->top_levels) {
+    const std::uint32_t stride = n_ - k_;
+    const std::uint32_t levels = tree().levels();
+    built->r_of.resize(levels);
+    built->root_of.resize(levels);
+    built->pos_base.resize(levels);
+    for (std::uint32_t j = k_; j < levels; ++j) {
+      const std::uint32_t jb = (j - k_) / stride;
+      built->r_of[j] = static_cast<std::uint8_t>(j - jb * stride);
+      built->root_of[j] = static_cast<std::uint8_t>(jb * stride);
+      built->pos_base[j] =
+          static_cast<std::uint32_t>(pow2(built->r_of[j]) - 1);
+    }
+    built->steps.resize(btab->size());
+    for (std::uint64_t pos = 0; pos < btab->size(); ++pos) {
+      const Resolution res = (*btab)[pos];
+      Step& s = built->steps[pos];
+      if (res.from_gamma) {
+        // Closed forms of gamma_node with level relative to jb*stride.
+        const std::int8_t t = static_cast<std::int8_t>(res.value);
+        const std::int8_t w = static_cast<std::int8_t>(stride);
+        switch (variant_) {
+          case internal::GammaVariant::kCorrect:
+            s.dlevel = static_cast<std::int8_t>(t - w);
+            s.rshift = static_cast<std::uint8_t>(w - t);
+            break;
+          case internal::GammaVariant::kIncludeChildRoot:
+            s.dlevel = static_cast<std::int8_t>(1 + t - w);
+            s.rshift = static_cast<std::uint8_t>(w - 1 - t);
+            break;
+          case internal::GammaVariant::kReversed:
+            s.dlevel = static_cast<std::int8_t>(-1 - t);
+            s.rshift = static_cast<std::uint8_t>(t + 1);
+            break;
+        }
+      } else {
+        // Closed form of subtree_node_at(Node{jb*stride, ib}, res.value).
+        const std::uint32_t lvl = floor_log2(res.value + 1);
+        s.dlevel = static_cast<std::int8_t>(lvl);
+        s.lshift = static_cast<std::uint8_t>(lvl);
+        s.add = static_cast<std::uint32_t>(res.value + 1 - pow2(lvl));
+      }
+    }
+  }
+
+  // Publish; on a race every thread builds the same immutable tables, and
+  // whichever lands first wins.
+  std::shared_ptr<const BatchAccel> expected;
+  std::shared_ptr<const BatchAccel> desired = std::move(built);
+  if (std::atomic_compare_exchange_strong_explicit(
+          &accel_, &expected, desired, std::memory_order_acq_rel,
+          std::memory_order_acquire)) {
+    return *desired;
+  }
+  return *expected;
+}
+
+void ColorMapping::color_of_batch(std::span<const Node> nodes,
+                                  std::span<Color> out) const {
+  assert(out.size() >= nodes.size());
+  if (nodes.empty()) return;
+  const BatchAccel& acc = accel();
+
+  // Whole tree above the horizon: pure table gather.
+  if (acc.top_levels >= tree().levels()) {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      assert(tree().contains(nodes[i]));
+      out[i] = acc.top_colors[bfs_id(nodes[i])];
+    }
+    return;
+  }
+
+  const std::uint64_t Kval = K();
+  const std::uint32_t stride = n_ - k_;  // > 0: nodes below the horizon exist
+  const Resolution* btable = nullptr;
+  if (retrieval_ == Retrieval::kBlockTable) {
+    btable = block_table_.data();
+  } else if (!acc.block_table.empty()) {
+    btable = acc.block_table.data();
+  }
+
+  // Fast path: the top table covers at least one full block (top >= N), so
+  // every chase provably bottoms out in a top-table lookup — a from-Gamma
+  // step lands in the parent generation and a top-k step lands in the
+  // block's shared levels, both strictly higher, and the jb == 0 exits sit
+  // below level N <= top. The kernel then runs two phases: a branch-free
+  // arithmetic chase — each jump is one precomposed Step lookup, no
+  // data-dependent branch to mispredict — emitting terminal BFS ids, then
+  // one tight gather loop whose independent loads into the 4 MiB top table
+  // the CPU overlaps (memory-level parallelism the fused per-node loop
+  // cannot extract).
+  if (!acc.steps.empty()) {
+    const std::uint8_t* r_of = acc.r_of.data();
+    const std::uint8_t* root_of = acc.root_of.data();
+    const std::uint32_t* pos_base = acc.pos_base.data();
+    const Step* steps = acc.steps.data();
+    const std::uint32_t top = acc.top_levels;
+
+    thread_local std::vector<std::uint64_t> term;
+    term.resize(nodes.size());
+
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      assert(tree().contains(nodes[i]));
+      std::uint32_t lvl = nodes[i].level;
+      std::uint64_t idx = nodes[i].index;
+      while (lvl >= top) {
+        const std::uint32_t r = r_of[lvl];
+        const std::uint64_t ib = idx >> r;
+        const std::uint64_t irel = idx - (ib << r);
+        const Step s = steps[pos_base[lvl] + irel];
+        lvl = static_cast<std::uint32_t>(root_of[lvl] + s.dlevel);
+        idx = ((ib >> s.rshift) << s.lshift) + s.add;
+      }
+      term[i] = pow2(lvl) - 1 + idx;
+    }
+
+    const Color* top_colors = acc.top_colors.data();
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      out[i] = top_colors[term[i]];
+    }
+    return;
+  }
+
+  // Per-block Gamma memo: once a chase resolves Gamma entry t of the block
+  // (memo_jb, memo_ib), later nodes of the same block reuse the color.
+  // t < stride <= 59, so one word tracks validity and the array lives on
+  // the stack — the kernel allocates nothing.
+  constexpr std::uint32_t kNoPending = UINT32_MAX;
+  Color gamma_memo[64];
+  std::uint64_t gamma_valid = 0;
+  std::uint32_t memo_jb = UINT32_MAX;
+  std::uint64_t memo_ib = 0;
+
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    assert(tree().contains(nodes[i]));
+    Node cur = nodes[i];
+    Color c = 0;
+    std::uint32_t pending_t = kNoPending;  // Gamma entry to memoize, if any
+    bool own_block = true;  // first chase step = the node's own block
+    while (true) {
+      if (cur.level < k_) {  // Sigma phase: color = BFS id
+        c = static_cast<Color>(bfs_id(cur));
+        break;
+      }
+      if (cur.level < acc.top_levels) {
+        c = acc.top_colors[bfs_id(cur)];
+        break;
+      }
+      const std::uint32_t jb = (cur.level - k_) / stride;
+      const std::uint32_t r = cur.level - jb * stride;
+      const std::uint64_t ib = cur.index >> r;
+      const std::uint64_t irel = cur.index - (ib << r);
+      const Resolution res = btable != nullptr
+                                 ? btable[pow2(r) - 1 + irel]
+                                 : resolve_in_block(r, irel);
+      if (res.from_gamma) {
+        if (jb == 0) {
+          c = static_cast<Color>(Kval + res.value);
+          break;
+        }
+        if (own_block) {
+          if (jb == memo_jb && ib == memo_ib) {
+            if ((gamma_valid >> res.value) & 1u) {
+              c = gamma_memo[res.value];
+              break;
+            }
+          } else {
+            memo_jb = jb;
+            memo_ib = ib;
+            gamma_valid = 0;
+          }
+          pending_t = res.value;
+        }
+        cur = gamma_node(ib, jb, res.value, stride, variant_);
+      } else {
+        if (jb == 0) {
+          c = static_cast<Color>(res.value);
+          break;
+        }
+        cur = subtree_node_at(Node{jb * stride, ib}, res.value);
+      }
+      own_block = false;
+    }
+    if (pending_t != kNoPending) {
+      gamma_memo[pending_t] = c;
+      gamma_valid |= std::uint64_t{1} << pending_t;
+    }
+    out[i] = c;
+  }
+}
+
 std::vector<Color> ColorMapping::materialize() const {
-  const std::uint32_t L = tree().levels();
+  return materialize_prefix(tree().levels());
+}
+
+std::vector<Color> ColorMapping::materialize_prefix(std::uint32_t L) const {
+  assert(L <= tree().levels());
   const std::uint64_t Kval = K();
   const std::uint64_t half_block = pow2(k_ - 1);
-  std::vector<Color> col(tree().size());
+  std::vector<Color> col(tree_size(L));
 
   // Sigma phase: top k levels of the root block.
   const std::uint64_t sigma_nodes = tree_size(std::min(k_, L));

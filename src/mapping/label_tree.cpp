@@ -96,6 +96,22 @@ Color LabelTreeMapping::color_of(Node n) const {
   return static_cast<Color>((base + sigma) % M_);
 }
 
+void LabelTreeMapping::color_of_batch(std::span<const Node> nodes,
+                                      std::span<Color> out) const {
+  assert(out.size() >= nodes.size());
+  const bool table = retrieval_ == Retrieval::kTable;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const Node n = nodes[i];
+    const std::uint32_t jb = n.level / m_;
+    const std::uint32_t r = n.level % m_;
+    const std::uint64_t ib = n.index >> r;
+    const std::uint64_t irel = n.index - (ib << r);
+    const std::uint32_t sigma = table ? sigma_table(pow2(r) - 1 + irel)
+                                      : sigma_recursive(r, irel);
+    out[i] = static_cast<Color>((std::uint64_t{jb} * ell_ + ib + sigma) % M_);
+  }
+}
+
 std::string LabelTreeMapping::name() const {
   return "LABEL-TREE(M=" + std::to_string(M_) + ")" +
          (retrieval_ == Retrieval::kTable ? "" : "+recursive");

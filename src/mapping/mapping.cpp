@@ -1,11 +1,18 @@
 #include "pmtree/mapping/mapping.hpp"
 
+#include <cassert>
+
 namespace pmtree {
 
+void TreeMapping::color_of_batch(std::span<const Node> nodes,
+                                 std::span<Color> out) const {
+  assert(out.size() >= nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) out[i] = color_of(nodes[i]);
+}
+
 std::vector<Color> TreeMapping::colors_of(std::span<const Node> nodes) const {
-  std::vector<Color> out;
-  out.reserve(nodes.size());
-  for (const Node& n : nodes) out.push_back(color_of(n));
+  std::vector<Color> out(nodes.size());
+  color_of_batch(nodes, out);
   return out;
 }
 

@@ -13,9 +13,10 @@ MemorySystem::MemorySystem(const TreeMapping& mapping)
 
 AccessResult MemorySystem::access(std::span<const Node> nodes) {
   std::fill(scratch_.begin(), scratch_.end(), 0u);
+  colors_.resize(nodes.size());
+  mapping_.color_of_batch(nodes, colors_);
   std::uint32_t busiest = 0;
-  for (const Node& n : nodes) {
-    const Color c = mapping_.color_of(n);
+  for (const Color c : colors_) {
     traffic_[c] += 1;
     busiest = std::max(busiest, ++scratch_[c]);
   }

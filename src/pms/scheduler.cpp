@@ -10,11 +10,14 @@ BatchResult BatchScheduler::schedule(
     std::span<const Workload::Access> batch) const {
   BatchResult result;
   result.queue.assign(mapping_.num_modules(), 0);
+  std::vector<Color> colors;  // reused batch buffer
   for (const auto& access : batch) {
     result.accesses += 1;
     result.requests += access.size();
-    for (const Node& n : access) {
-      result.queue[mapping_.color_of(n)] += 1;
+    colors.resize(access.size());
+    mapping_.color_of_batch(access, colors);
+    for (const Color c : colors) {
+      result.queue[c] += 1;
     }
   }
   result.makespan = result.queue.empty()

@@ -43,14 +43,16 @@ SimulationReport ParallelAccessSimulator::run(const TreeMapping& mapping,
         WorkerState& st = states[t];
         st.traffic.assign(modules, 0);
         std::vector<std::uint32_t> occupancy(modules, 0);
+        std::vector<Color> colors;  // per-worker batch buffer
         while (true) {
           const std::size_t idx = cursor.fetch_add(1, std::memory_order_relaxed);
           if (idx >= workload.size()) break;
           const auto& access = workload[idx];
           std::fill(occupancy.begin(), occupancy.end(), 0u);
+          colors.resize(access.size());
+          mapping.color_of_batch(access, colors);
           std::uint32_t busiest = 0;
-          for (const Node& n : access) {
-            const Color c = mapping.color_of(n);
+          for (const Color c : colors) {
             st.traffic[c] += 1;
             busiest = std::max(busiest, ++occupancy[c]);
           }

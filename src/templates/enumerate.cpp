@@ -62,6 +62,59 @@ void for_each_tp(const CompleteBinaryTree& tree, std::uint64_t K, std::uint32_t 
   }
 }
 
+SubtreeInstance subtree_at([[maybe_unused]] const CompleteBinaryTree& tree,
+                           std::uint64_t K, std::uint64_t idx) {
+  assert(is_tree_size(K));
+  assert(idx < count_subtrees(tree, K));
+  // for_each_subtree scans roots level by level, left to right = BFS order.
+  return SubtreeInstance{node_at(idx), K};
+}
+
+LevelRunInstance level_run_at(const CompleteBinaryTree& tree, std::uint64_t K,
+                              std::uint64_t idx) {
+  assert(K >= 1);
+  for (std::uint32_t j = 0; j < tree.levels(); ++j) {
+    if (pow2(j) < K) continue;
+    const std::uint64_t runs = pow2(j) - K + 1;
+    if (idx < runs) return LevelRunInstance{v(idx, j), K};
+    idx -= runs;
+  }
+  assert(false && "idx out of range");
+  return LevelRunInstance{};
+}
+
+PathInstance path_at([[maybe_unused]] const CompleteBinaryTree& tree,
+                     std::uint64_t K, std::uint64_t idx) {
+  assert(K >= 1);
+  assert(idx < count_paths(tree, K));
+  // for_each_path scans deepest nodes in BFS order starting at level K-1,
+  // whose first BFS id is 2^{K-1} - 1.
+  return PathInstance{
+      node_at(idx + pow2(static_cast<std::uint32_t>(K) - 1) - 1), K};
+}
+
+CompositeInstance tp_at(const CompleteBinaryTree& tree, std::uint64_t K,
+                        std::uint64_t idx) {
+  assert(is_tree_size(K));
+  assert(idx < count_tp(tree));
+  // Scanning j = 1..levels with anchors v(i, j-1), i ascending, visits the
+  // anchors in BFS order.
+  const Node anchor = node_at(idx);
+  const std::uint32_t k = tree_levels(K);
+  const std::uint32_t sub_levels = std::min(k, tree.levels() - anchor.level);
+  CompositeInstance tp;
+  tp.add(SubtreeInstance{anchor, tree_size(sub_levels)});
+  if (anchor.level >= 1) {
+    tp.add(PathInstance{parent(anchor), anchor.level});
+  }
+  return tp;
+}
+
+std::uint64_t count_tp(const CompleteBinaryTree& tree) {
+  // One instance per anchor v(i, j-1), j = 1..levels.
+  return tree.size();
+}
+
 std::uint64_t count_subtrees(const CompleteBinaryTree& tree, std::uint64_t K) {
   const std::uint32_t k = tree_levels(K);
   if (k > tree.levels()) return 0;

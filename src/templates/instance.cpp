@@ -4,9 +4,8 @@
 
 namespace pmtree {
 
-std::vector<Node> SubtreeInstance::nodes() const {
-  std::vector<Node> out;
-  out.reserve(size);
+void SubtreeInstance::append_nodes(std::vector<Node>& out) const {
+  out.reserve(out.size() + size);
   const std::uint32_t depth = levels();
   for (std::uint32_t d = 0; d < depth; ++d) {
     const std::uint64_t first = root.index << d;
@@ -14,26 +13,39 @@ std::vector<Node> SubtreeInstance::nodes() const {
       out.push_back(Node{root.level + d, first + off});
     }
   }
+}
+
+std::vector<Node> SubtreeInstance::nodes() const {
+  std::vector<Node> out;
+  append_nodes(out);
   return out;
+}
+
+void LevelRunInstance::append_nodes(std::vector<Node>& out) const {
+  out.reserve(out.size() + size);
+  for (std::uint64_t t = 0; t < size; ++t) {
+    out.push_back(Node{first.level, first.index + t});
+  }
 }
 
 std::vector<Node> LevelRunInstance::nodes() const {
   std::vector<Node> out;
-  out.reserve(size);
-  for (std::uint64_t t = 0; t < size; ++t) {
-    out.push_back(Node{first.level, first.index + t});
-  }
+  append_nodes(out);
   return out;
 }
 
-std::vector<Node> PathInstance::nodes() const {
-  std::vector<Node> out;
-  out.reserve(size);
+void PathInstance::append_nodes(std::vector<Node>& out) const {
+  out.reserve(out.size() + size);
   Node cur = start;
   for (std::uint64_t t = 0; t < size; ++t) {
     out.push_back(cur);
     if (t + 1 < size) cur = parent(cur);
   }
+}
+
+std::vector<Node> PathInstance::nodes() const {
+  std::vector<Node> out;
+  append_nodes(out);
   return out;
 }
 
@@ -48,13 +60,14 @@ bool CompositeInstance::fits(const CompleteBinaryTree& tree) const noexcept {
                      [&](const auto& p) { return p.fits(tree); });
 }
 
+void CompositeInstance::append_nodes(std::vector<Node>& out) const {
+  out.reserve(out.size() + size());
+  for (const auto& p : parts_) p.append_nodes(out);
+}
+
 std::vector<Node> CompositeInstance::nodes() const {
   std::vector<Node> out;
-  out.reserve(size());
-  for (const auto& p : parts_) {
-    auto part_nodes = p.nodes();
-    out.insert(out.end(), part_nodes.begin(), part_nodes.end());
-  }
+  append_nodes(out);
   return out;
 }
 

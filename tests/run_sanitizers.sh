@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Runs the pmtree test suite under ASan, UBSan and TSan via the
 # CMakePresets.json configurations. The suite must be green under all
-# three; TSan in particular covers ParallelAccessSimulator's worker merge
-# and the cycle engine.
+# three; TSan in particular covers ParallelAccessSimulator's worker merge,
+# the cycle engine, the parallel cost evaluators (test_analysis_parallel
+# runs them at 1/2/8 threads), and the lazy batch-accelerator publication
+# (test_mapping_batch's ConcurrentFirstUseIsConsistent races four threads
+# on a cold ColorMapping).
 #
 #   tests/run_sanitizers.sh             # all three sanitizers, full suite
 #   tests/run_sanitizers.sh tsan        # one sanitizer
