@@ -19,6 +19,13 @@
 //                            rounds(), and completion_cycle == the sum
 //                            (MemorySystem::total_rounds).
 //
+// The core is event-driven rather than scalar (DESIGN.md §8): module
+// FIFOs live in one flat arena sized from the admitted request count,
+// service touches only an active-module worklist, and whole busy spans
+// are retired in bulk when no arrival can land inside them. The frozen
+// PR-1 loop survives as ReferenceEngine (reference.hpp), the semantics
+// oracle the event core is differentially tested against.
+//
 // Everything the engine observes lands in an EngineResult and, when a
 // MetricsRegistry is supplied, in named instruments under a caller-chosen
 // prefix, ready for JSON export (see metrics.hpp).
@@ -74,6 +81,33 @@ struct EngineResult {
   [[nodiscard]] Json to_json() const;
 };
 
+/// Knobs for the event-driven core. Trajectory semantics — completion
+/// cycles, latencies, served counts, high-water marks, busy cycles — are
+/// identical under every setting; the options only gate how much
+/// observability (queue-depth sampling) is paid for, which is what decides
+/// whether busy spans may be retired in bulk (DESIGN.md §8).
+struct EngineOptions {
+  enum class DepthSampling : std::uint8_t {
+    /// Sample every module's depth on every busy cycle (the PR-1
+    /// behaviour). Full-fidelity histograms pin the engine to per-cycle
+    /// stepping, so only idle gaps are skipped.
+    kEveryBusyCycle,
+    /// Sample on busy-cycle ordinals divisible by `sample_stride`. The
+    /// sampled multiset is a deterministic function of (workload,
+    /// schedule, stride) — bulk-skipped spans reconstruct their sampled
+    /// depths exactly — so the histogram does not depend on how the
+    /// engine chose to step.
+    kStrided,
+    /// No depth sampling; `EngineResult::queue_depth` stays empty.
+    kOff,
+  };
+
+  DepthSampling sampling = DepthSampling::kEveryBusyCycle;
+  /// kStrided only: sample busy-cycle ordinals ≡ 0 (mod sample_stride).
+  /// Clamped to >= 1.
+  std::uint64_t sample_stride = 64;
+};
+
 class CycleEngine {
  public:
   /// `metrics` (optional) receives instruments named `<prefix>.accesses`,
@@ -85,9 +119,17 @@ class CycleEngine {
       : mapping_(mapping), metrics_(metrics), prefix_(std::move(prefix)) {}
 
   /// Feeds `workload` through the module queues under `schedule` and
-  /// drains them to completion, one cycle at a time.
+  /// drains them to completion with full per-busy-cycle depth sampling
+  /// (EngineOptions{}).
   [[nodiscard]] EngineResult run(const Workload& workload,
-                                 const ArrivalSchedule& schedule) const;
+                                 const ArrivalSchedule& schedule) const {
+    return run(workload, schedule, EngineOptions{});
+  }
+
+  /// Same trajectory under caller-chosen observability cost.
+  [[nodiscard]] EngineResult run(const Workload& workload,
+                                 const ArrivalSchedule& schedule,
+                                 const EngineOptions& options) const;
 
  private:
   const TreeMapping& mapping_;

@@ -1,0 +1,38 @@
+// ReferenceEngine: the frozen PR-1 scalar cycle loop.
+//
+// When the CycleEngine hot loop was rebuilt as an event-driven core
+// (flat arena queues, active-module worklist, bulk cycle skipping —
+// DESIGN.md §8), the original implementation was kept verbatim under this
+// name. It burns O(modules) per cycle on std::deque scans and histogram
+// sampling, which makes it useless at scale but ideal as an oracle: its
+// semantics are obviously the paper's service model, one line per rule.
+//
+// Two consumers:
+//   * tests/test_engine_event_core.cpp holds the event-driven core to
+//     bit-identical trajectories (records, served counts, high-water
+//     marks, busy cycles, histograms) on randomized workload/schedule
+//     pairs across every template family;
+//   * bench_e18_engine_throughput reports the event core's cycles/sec and
+//     requests/sec as multiples of this baseline.
+//
+// Do not optimize this file; its only job is to stay the seed.
+#pragma once
+
+#include "pmtree/engine/engine.hpp"
+
+namespace pmtree::engine {
+
+class ReferenceEngine {
+ public:
+  explicit ReferenceEngine(const TreeMapping& mapping) : mapping_(mapping) {}
+
+  /// The PR-1 `CycleEngine::run` loop, metrics plumbing removed. Depth
+  /// sampling is always per-busy-cycle (the seed had no sampling knobs).
+  [[nodiscard]] EngineResult run(const Workload& workload,
+                                 const ArrivalSchedule& schedule) const;
+
+ private:
+  const TreeMapping& mapping_;
+};
+
+}  // namespace pmtree::engine

@@ -1,0 +1,78 @@
+// ShardedEngineRunner: scale-out over independent memory-system replicas.
+//
+// One CycleEngine models a single parallel memory system; serving "heavy
+// traffic from millions of users" means running many replicas and
+// spreading the stream across them. The runner models exactly that: a
+// round-robin front-end assigns access i to shard i mod S, each of the S
+// shards is an independent replica of the mapping's module array admitting
+// its sub-stream under the same ArrivalSchedule on its own clock, and the
+// shard trajectories are folded into one merged EngineResult.
+//
+// Determinism contract (the PR-2 rule, applied to the engine): the
+// partition is a function of (workload, shards) and each shard's result is
+// the scalar engine's result on its sub-workload no matter which worker
+// thread computes it, so the output — per-shard and merged, including
+// every histogram bucket — is bit-identical at any thread count.
+// tests/test_engine_sharded.cpp pins that at 1/2/8 threads.
+//
+// Merge semantics (shards run concurrently on a shared clock):
+//   * accesses / requests / busy_cycles / served[m] / histograms — summed
+//     (histograms merged in shard order; bucket addition is commutative);
+//   * completion_cycle / queue_high_water[m] — max over shards;
+//   * records — re-interleaved to workload order, ids rewritten to global
+//     access ids (merged.records[i] is shard i mod S's record i div S).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "pmtree/engine/engine.hpp"
+
+namespace pmtree::engine {
+
+struct ShardedOptions {
+  /// Number of independent replicas the stream is spread over. 0 behaves
+  /// as 1; shards == 1 reproduces the scalar engine exactly.
+  std::size_t shards = 1;
+  /// Worker threads running shard engines (0 = one per hardware thread).
+  /// Results NEVER depend on this — it is wall-clock only.
+  unsigned threads = 0;
+  /// Per-shard engine knobs (depth sampling / cycle skipping).
+  EngineOptions engine;
+};
+
+struct ShardedResult {
+  std::vector<EngineResult> shards;  ///< per-shard trajectories, shard order
+  EngineResult merged;               ///< fold per the merge semantics above
+};
+
+class ShardedEngineRunner {
+ public:
+  /// `metrics` (optional) receives the merged trajectory under
+  /// `<prefix>.*` (same instrument names as CycleEngine) plus a
+  /// `<prefix>.shards` counter.
+  explicit ShardedEngineRunner(const TreeMapping& mapping,
+                               MetricsRegistry* metrics = nullptr,
+                               std::string prefix = "sharded")
+      : mapping_(mapping), metrics_(metrics), prefix_(std::move(prefix)) {}
+
+  [[nodiscard]] ShardedResult run(const Workload& workload,
+                                  const ArrivalSchedule& schedule,
+                                  const ShardedOptions& options = {}) const;
+
+  /// The deterministic round-robin partition: access i becomes shard
+  /// (i mod shards)'s access number (i div shards). Round-robin (rather
+  /// than contiguous ranges) spreads heterogeneous access sizes evenly
+  /// across replicas. Exposed so tests and tools can reproduce shard
+  /// sub-workloads independently.
+  [[nodiscard]] static std::vector<Workload> partition(
+      const Workload& workload, std::size_t shards);
+
+ private:
+  const TreeMapping& mapping_;
+  MetricsRegistry* metrics_;
+  std::string prefix_;
+};
+
+}  // namespace pmtree::engine

@@ -24,6 +24,8 @@
 #include "pmtree/engine/histogram.hpp"
 #include "pmtree/engine/json.hpp"
 #include "pmtree/engine/metrics.hpp"
+#include "pmtree/engine/reference.hpp"
+#include "pmtree/engine/sharded.hpp"
 #include "pmtree/mapping/baselines.hpp"
 #include "pmtree/mapping/color.hpp"
 #include "pmtree/mapping/combinators.hpp"

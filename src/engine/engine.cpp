@@ -1,7 +1,27 @@
+// Event-driven CycleEngine core (DESIGN.md §8).
+//
+// The frozen PR-1 loop (now ReferenceEngine) pays O(modules) every cycle:
+// it scans one std::deque per module for service and records one depth
+// sample per module into the histogram. This implementation keeps its
+// semantics bit-identical — tests/test_engine_event_core.cpp holds it to
+// the reference on randomized pairs — while restructuring the hot loop
+// around three ideas:
+//
+//   * flat arena queues: per-module FIFOs are segments of one allocation,
+//     sized from the admitted request count, with bump-pointer push/pop;
+//   * an active-module worklist: service and depth observation visit only
+//     backlogged modules (idle modules' zero-depth samples are counted
+//     and recorded in one bulk histogram update at the end);
+//   * cycle skipping: between arrivals the queues evolve deterministically
+//     (one pop per module per cycle), so a whole span is retired in bulk
+//     as long as no active module drains inside it. Full per-busy-cycle
+//     depth sampling pins the engine to per-cycle stepping; strided/off
+//     sampling (EngineOptions) unlocks the bulk path.
 #include "pmtree/engine/engine.hpp"
 
 #include <algorithm>
-#include <deque>
+#include <cassert>
+#include <limits>
 
 namespace pmtree::engine {
 
@@ -39,20 +59,19 @@ Json EngineResult::to_json() const {
 }
 
 EngineResult CycleEngine::run(const Workload& workload,
-                              const ArrivalSchedule& schedule) const {
+                              const ArrivalSchedule& schedule,
+                              const EngineOptions& options) const {
   const std::uint32_t modules = mapping_.num_modules();
   const std::size_t n = workload.size();
+  // Arena entries are 32-bit access ids; a workload that large could not
+  // be materialized in memory anyway.
+  assert(n < std::numeric_limits<std::uint32_t>::max());
 
   EngineResult result;
   result.accesses = n;
   result.served.assign(modules, 0);
   result.queue_high_water.assign(modules, 0);
   result.records.resize(n);
-
-  // FIFO of access ids per module; a request is either queued or already
-  // served, so "all queues empty" means every admitted access completed.
-  std::vector<std::deque<std::uint64_t>> queues(modules);
-  std::vector<std::uint64_t> outstanding(n, 0);
 
   // Resolve every access's colors once up front through the batch kernel —
   // one virtual call for the whole workload, and ColorMapping amortizes
@@ -68,10 +87,45 @@ EngineResult CycleEngine::run(const Workload& workload,
   std::vector<Color> colors(flat.size());
   mapping_.color_of_batch(flat, colors);
 
+  // Flat arena queues: module m's FIFO is arena[qbase[m], qbase[m+1]), a
+  // segment sized to the exact number of requests the run routes to m
+  // (known from the resolved colors), so push/pop are bump pointers that
+  // never wrap or allocate — one allocation replaces per-module deques.
+  std::vector<std::size_t> qbase(modules + 1, 0);
+  for (const Color c : colors) qbase[c + 1] += 1;
+  for (std::uint32_t m = 0; m < modules; ++m) qbase[m + 1] += qbase[m];
+  std::vector<std::uint32_t> arena(colors.size());
+  std::vector<std::size_t> head(qbase.begin(), qbase.end() - 1);
+  std::vector<std::size_t> tail = head;
+
+  // Worklist of modules with a non-empty queue. Every output is invariant
+  // to the order modules are serviced in (see the bulk-service note
+  // below), so drained modules are swap-removed in O(1).
+  std::vector<std::uint32_t> active;
+  active.reserve(modules);
+
+  std::vector<std::uint32_t> outstanding(n, 0);
+
+  const EngineOptions::DepthSampling sampling = options.sampling;
+  const std::uint64_t stride =
+      std::max<std::uint64_t>(options.sample_stride, 1);
+  const bool per_cycle =
+      sampling == EngineOptions::DepthSampling::kEveryBusyCycle;
+  // Idle modules' zero-depth samples are tallied here and recorded in one
+  // bulk Histogram::record at the end, so observation stays O(backlogged
+  // modules) per cycle while the histogram matches the reference exactly.
+  std::uint64_t zero_samples = 0;
+
   std::uint64_t t = 0;         // current cycle
   std::size_t next = 0;        // next access to admit
   std::size_t done = 0;        // accesses completed
   std::size_t in_flight = 0;   // admitted but not completed
+
+  const auto complete = [&](const AccessRecord& rec) {
+    result.latency.record(rec.latency());
+    result.completion_cycle = std::max(result.completion_cycle, rec.completion);
+    done += 1;
+  };
 
   const auto admit = [&](std::size_t i, std::uint64_t cycle) {
     const Workload::Access& access = workload[i];
@@ -80,27 +134,46 @@ EngineResult CycleEngine::run(const Workload& workload,
     rec.requests = access.size();
     rec.arrival = cycle;
     result.requests += access.size();
-    outstanding[i] = access.size();
+    outstanding[i] = static_cast<std::uint32_t>(access.size());
     if (access.empty()) {
       // Nothing to fetch: completes the cycle it arrives, latency 0.
       rec.completion = cycle;
-      result.latency.record(0);
-      done += 1;
+      complete(rec);
       return;
     }
     in_flight += 1;
     for (std::size_t r = first[i]; r < first[i + 1]; ++r) {
-      queues[colors[r]].push_back(i);
+      const Color m = colors[r];
+      if (tail[m] == head[m]) active.push_back(m);
+      arena[tail[m]] = static_cast<std::uint32_t>(i);
+      tail[m] += 1;
+      // Depth only grows on admission and the reference observes it after
+      // the cycle's last push, so the per-push running max reproduces its
+      // high-water marks without a per-cycle module scan.
+      const std::uint64_t depth = tail[m] - head[m];
+      result.queue_high_water[m] = std::max(result.queue_high_water[m], depth);
     }
   };
 
   while (done < n) {
-    // Admission. Closed loop: one access in flight at a time; open loop:
-    // everything whose scheduled arrival is due.
+    // Admission, exactly as the reference. Closed loop: one access in
+    // flight at a time; open loop: everything whose arrival is due.
     if (schedule.closed_loop()) {
       while (next < n && done == next) {
         admit(next, t);
         next += 1;
+      }
+      if (in_flight == 0) {
+        // Only reachable when the trailing accesses were all empty, so
+        // done == n. The reference loop still observes one all-idle cycle
+        // before exiting; reproduce its accounting bit for bit.
+        if (per_cycle ||
+            (sampling == EngineOptions::DepthSampling::kStrided &&
+             result.busy_cycles % stride == 0)) {
+          zero_samples += modules;
+        }
+        result.busy_cycles += 1;
+        break;
       }
     } else {
       while (next < n && schedule.arrival_cycle(next) <= t) {
@@ -116,35 +189,79 @@ EngineResult CycleEngine::run(const Workload& workload,
       }
     }
 
-    // Observe queue depths after admission, before service: the per-cycle
-    // backlog each module sees this cycle.
-    for (std::uint32_t m = 0; m < modules; ++m) {
-      const std::uint64_t depth = queues[m].size();
-      result.queue_high_water[m] = std::max(result.queue_high_water[m], depth);
-      result.queue_depth.record(depth);
+    // Cycle-skip horizon: nothing external touches the queues before the
+    // next arrival (closed-loop admission waits for a full drain), and
+    // service is deterministic — one pop per active module per cycle —
+    // so a span of `span` cycles can be retired in bulk as long as no
+    // active module drains inside it (the min-depth bound). Full
+    // per-busy-cycle sampling forces span == 1.
+    std::uint64_t span = 1;
+    if (!per_cycle) {
+      std::uint64_t horizon = std::numeric_limits<std::uint64_t>::max();
+      if (!schedule.closed_loop() && next < n) {
+        // >= 1: every arrival due at t was admitted above.
+        horizon = schedule.arrival_cycle(next) - t;
+      }
+      std::uint64_t min_depth = std::numeric_limits<std::uint64_t>::max();
+      for (const std::uint32_t m : active) {
+        min_depth = std::min(min_depth, tail[m] - head[m]);
+      }
+      span = std::min(horizon, min_depth);
     }
-    result.busy_cycles += 1;
 
-    // Service: each module retires the request at its queue head.
-    for (std::uint32_t m = 0; m < modules; ++m) {
-      if (queues[m].empty()) continue;
-      const std::uint64_t id = queues[m].front();
-      queues[m].pop_front();
-      result.served[m] += 1;
-      if (--outstanding[id] == 0) {
-        AccessRecord& rec = result.records[id];
-        rec.completion = t + 1;
-        result.latency.record(rec.latency());
-        done += 1;
-        in_flight -= 1;
+    // Depth observation for busy-cycle ordinals [b, b + span), after
+    // admission and before service. No module drains inside the span, so
+    // active depths fall by exactly 1 per cycle and every sampled multiset
+    // is reconstructed exactly: the histogram is a function of (workload,
+    // schedule, options), never of how the engine chose to step.
+    if (per_cycle) {
+      for (const std::uint32_t m : active) {
+        result.queue_depth.record(tail[m] - head[m]);
+      }
+      zero_samples += modules - active.size();
+    } else if (sampling == EngineOptions::DepthSampling::kStrided) {
+      const std::uint64_t b = result.busy_cycles;
+      for (std::uint64_t j = (b + stride - 1) / stride * stride; j < b + span;
+           j += stride) {
+        const std::uint64_t off = j - b;
+        for (const std::uint32_t m : active) {
+          result.queue_depth.record(tail[m] - head[m] - off);
+        }
+        zero_samples += modules - active.size();
       }
     }
-    t += 1;
+
+    // Service: module m retires its first `span` queued requests at cycles
+    // t+1 .. t+span. An access's completion is a running max over its
+    // requests' serve cycles, so the order modules are processed in does
+    // not matter — the last pop of an access always sees the full max.
+    for (std::size_t a = 0; a < active.size();) {
+      const std::uint32_t m = active[a];
+      std::size_t h = head[m];
+      for (std::uint64_t j = 1; j <= span; ++j, ++h) {
+        const std::uint32_t id = arena[h];
+        AccessRecord& rec = result.records[id];
+        const std::uint64_t cycle = t + j;
+        rec.completion = std::max(rec.completion, cycle);
+        if (--outstanding[id] == 0) {
+          complete(rec);
+          in_flight -= 1;
+        }
+      }
+      head[m] = h;
+      result.served[m] += span;
+      if (h == tail[m]) {
+        active[a] = active.back();
+        active.pop_back();
+      } else {
+        a += 1;
+      }
+    }
+    result.busy_cycles += span;
+    t += span;
   }
 
-  for (const AccessRecord& rec : result.records) {
-    result.completion_cycle = std::max(result.completion_cycle, rec.completion);
-  }
+  if (zero_samples != 0) result.queue_depth.record(0, zero_samples);
 
   if (metrics_ != nullptr) {
     metrics_->counter(prefix_ + ".accesses").add(result.accesses);

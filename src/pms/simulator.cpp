@@ -48,7 +48,6 @@ SimulationReport ParallelAccessSimulator::run(const TreeMapping& mapping,
           const std::size_t idx = cursor.fetch_add(1, std::memory_order_relaxed);
           if (idx >= workload.size()) break;
           const auto& access = workload[idx];
-          std::fill(occupancy.begin(), occupancy.end(), 0u);
           colors.resize(access.size());
           mapping.color_of_batch(access, colors);
           std::uint32_t busiest = 0;
@@ -56,6 +55,10 @@ SimulationReport ParallelAccessSimulator::run(const TreeMapping& mapping,
             st.traffic[c] += 1;
             busiest = std::max(busiest, ++occupancy[c]);
           }
+          // Touched-entry reset (the cost.cpp scratch-kernel trick): a
+          // small access on a large module count must not pay O(modules)
+          // to clear the occupancy array.
+          for (const Color c : colors) occupancy[c] = 0;
           st.accesses += 1;
           st.requests += access.size();
           st.total_rounds += busiest;

@@ -3,7 +3,11 @@
 # CMakePresets.json configurations. The suite must be green under all
 # three; TSan in particular covers ParallelAccessSimulator's worker merge,
 # the cycle engine, the parallel cost evaluators (test_analysis_parallel
-# runs them at 1/2/8 threads), and the lazy batch-accelerator publication
+# runs them at 1/2/8 threads), the sharded engine runner
+# (test_engine_sharded drives ShardedEngineRunner at 1/2/8 worker threads
+# and asserts bit-identical merges, so any data race in the per-shard
+# slot writes or the fold shows up both as a TSan report and as a
+# mismatch), and the lazy batch-accelerator publication
 # (test_mapping_batch's ConcurrentFirstUseIsConsistent races four threads
 # on a cold ColorMapping).
 #

@@ -1,0 +1,240 @@
+// ShardedEngineRunner contract tests: the partition is deterministic,
+// every shard's trajectory is exactly the scalar engine's on its
+// sub-workload, the merged fold follows the documented semantics, and —
+// the PR-2 rule applied to the engine — results are bit-identical at
+// every thread count (pinned at 1/2/8; TSan runs this file too, see
+// tests/run_sanitizers.sh).
+#include "pmtree/engine/sharded.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+
+#include "pmtree/engine/engine.hpp"
+#include "pmtree/mapping/baselines.hpp"
+#include "pmtree/mapping/color.hpp"
+#include "pmtree/util/rng.hpp"
+
+namespace pmtree {
+namespace {
+
+using engine::ArrivalSchedule;
+using engine::CycleEngine;
+using engine::EngineOptions;
+using engine::EngineResult;
+using engine::Histogram;
+using engine::ShardedEngineRunner;
+using engine::ShardedOptions;
+using engine::ShardedResult;
+
+void expect_same_histogram(const Histogram& got, const Histogram& want) {
+  ASSERT_EQ(got.count(), want.count());
+  ASSERT_EQ(got.sum(), want.sum());
+  ASSERT_EQ(got.min(), want.min());
+  ASSERT_EQ(got.max(), want.max());
+  const auto gb = got.buckets();
+  const auto wb = want.buckets();
+  ASSERT_EQ(gb.size(), wb.size());
+  for (std::size_t i = 0; i < gb.size(); ++i) {
+    ASSERT_EQ(gb[i].upper, wb[i].upper) << "bucket " << i;
+    ASSERT_EQ(gb[i].count, wb[i].count) << "bucket " << i;
+  }
+}
+
+void expect_same_result(const EngineResult& got, const EngineResult& want) {
+  ASSERT_EQ(got.accesses, want.accesses);
+  ASSERT_EQ(got.requests, want.requests);
+  ASSERT_EQ(got.completion_cycle, want.completion_cycle);
+  ASSERT_EQ(got.busy_cycles, want.busy_cycles);
+  ASSERT_EQ(got.served, want.served);
+  ASSERT_EQ(got.queue_high_water, want.queue_high_water);
+  ASSERT_EQ(got.records.size(), want.records.size());
+  for (std::size_t i = 0; i < got.records.size(); ++i) {
+    ASSERT_EQ(got.records[i].id, want.records[i].id) << "access " << i;
+    ASSERT_EQ(got.records[i].requests, want.records[i].requests);
+    ASSERT_EQ(got.records[i].arrival, want.records[i].arrival);
+    ASSERT_EQ(got.records[i].completion, want.records[i].completion);
+  }
+  expect_same_histogram(got.latency, want.latency);
+  expect_same_histogram(got.queue_depth, want.queue_depth);
+}
+
+TEST(ShardedEngine, PartitionIsRoundRobinAndDeterministic) {
+  const CompleteBinaryTree tree(8);
+  const Workload workload = Workload::mixed(tree, 7, 23, 42);
+  const auto parts = ShardedEngineRunner::partition(workload, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < parts.size(); ++s) {
+    for (std::size_t j = 0; j < parts[s].size(); ++j) {
+      ASSERT_EQ(parts[s][j], workload[j * 4 + s]) << "shard " << s;
+    }
+    total += parts[s].size();
+  }
+  ASSERT_EQ(total, workload.size());
+  // shards == 0 behaves as 1.
+  const auto one = ShardedEngineRunner::partition(workload, 0);
+  ASSERT_EQ(one.size(), 1u);
+  ASSERT_EQ(one[0].size(), workload.size());
+}
+
+TEST(ShardedEngine, SingleShardReproducesScalarEngineExactly) {
+  const CompleteBinaryTree tree(10);
+  const ColorMapping map = make_optimal_color_mapping(tree, 15);
+  const Workload workload = Workload::mixed(tree, 7, 80, 9);
+  const CycleEngine scalar(map);
+  const ShardedEngineRunner runner(map);
+  for (const auto& schedule :
+       {ArrivalSchedule::all_at_once(), ArrivalSchedule::serialized(),
+        ArrivalSchedule::bursty(8, 4)}) {
+    SCOPED_TRACE(schedule.name());
+    ShardedOptions opts;
+    opts.shards = 1;
+    opts.threads = 2;
+    const ShardedResult sharded = runner.run(workload, schedule, opts);
+    const EngineResult want = scalar.run(workload, schedule);
+    expect_same_result(sharded.merged, want);
+    ASSERT_EQ(sharded.shards.size(), 1u);
+    expect_same_result(sharded.shards[0], want);
+  }
+}
+
+TEST(ShardedEngine, BitIdenticalAtEveryThreadCount) {
+  // The headline contract: for each shard count, runs at 1/2/8 threads
+  // produce byte-for-byte identical per-shard and merged results.
+  const CompleteBinaryTree tree(11);
+  const ColorMapping map = make_optimal_color_mapping(tree, 15);
+  const Workload workload = Workload::mixed(tree, 15, 120, 77);
+  const ShardedEngineRunner runner(map);
+  const ArrivalSchedule schedule = ArrivalSchedule::bursty(16, 8);
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{3},
+                                   std::size_t{8}}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    ShardedOptions base;
+    base.shards = shards;
+    base.threads = 1;
+    const ShardedResult want = runner.run(workload, schedule, base);
+    for (const unsigned threads : {2u, 8u}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      ShardedOptions opts = base;
+      opts.threads = threads;
+      const ShardedResult got = runner.run(workload, schedule, opts);
+      expect_same_result(got.merged, want.merged);
+      ASSERT_EQ(got.shards.size(), want.shards.size());
+      for (std::size_t s = 0; s < got.shards.size(); ++s) {
+        SCOPED_TRACE("shard=" + std::to_string(s));
+        expect_same_result(got.shards[s], want.shards[s]);
+      }
+    }
+  }
+}
+
+TEST(ShardedEngine, EachShardEqualsScalarEngineOnItsPartition) {
+  const CompleteBinaryTree tree(10);
+  const ModuloMapping map(tree, 9);
+  const Workload workload = Workload::mixed(tree, 7, 50, 3);
+  const std::size_t shards = 4;
+  const ShardedEngineRunner runner(map);
+  ShardedOptions opts;
+  opts.shards = shards;
+  opts.threads = 8;
+  const ArrivalSchedule schedule = ArrivalSchedule::fixed_rate(2);
+  const ShardedResult got = runner.run(workload, schedule, opts);
+
+  const auto parts = ShardedEngineRunner::partition(workload, shards);
+  const CycleEngine scalar(map);
+  for (std::size_t s = 0; s < shards; ++s) {
+    SCOPED_TRACE("shard=" + std::to_string(s));
+    expect_same_result(got.shards[s], scalar.run(parts[s], schedule));
+  }
+  // Merged records re-interleave to workload order with global ids.
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    ASSERT_EQ(got.merged.records[i].id, i);
+    ASSERT_EQ(got.merged.records[i].completion,
+              got.shards[i % shards].records[i / shards].completion);
+  }
+}
+
+TEST(ShardedEngine, MergedAggregatesFollowTheContract) {
+  const CompleteBinaryTree tree(10);
+  const ModuloMapping map(tree, 9);
+  const Workload workload = Workload::mixed(tree, 7, 64, 21);
+  ShardedOptions opts;
+  opts.shards = 5;
+  opts.engine.sampling = EngineOptions::DepthSampling::kOff;
+  const ShardedResult got = ShardedEngineRunner(map).run(
+      workload, ArrivalSchedule::all_at_once(), opts);
+
+  std::uint64_t accesses = 0, requests = 0, busy = 0, completion = 0;
+  std::vector<std::uint64_t> served(map.num_modules(), 0);
+  std::vector<std::uint64_t> high_water(map.num_modules(), 0);
+  for (const EngineResult& shard : got.shards) {
+    accesses += shard.accesses;
+    requests += shard.requests;
+    busy += shard.busy_cycles;
+    completion = std::max(completion, shard.completion_cycle);
+    for (std::size_t m = 0; m < served.size(); ++m) {
+      served[m] += shard.served[m];
+      high_water[m] = std::max(high_water[m], shard.queue_high_water[m]);
+    }
+  }
+  EXPECT_EQ(got.merged.accesses, workload.size());
+  EXPECT_EQ(got.merged.accesses, accesses);
+  EXPECT_EQ(got.merged.requests, requests);
+  EXPECT_EQ(got.merged.busy_cycles, busy);
+  EXPECT_EQ(got.merged.completion_cycle, completion);
+  EXPECT_EQ(got.merged.served, served);
+  EXPECT_EQ(got.merged.queue_high_water, high_water);
+  EXPECT_EQ(std::accumulate(served.begin(), served.end(), std::uint64_t{0}),
+            requests);
+  EXPECT_EQ(got.merged.latency.count(), accesses);
+  EXPECT_TRUE(got.merged.queue_depth.empty());  // per-shard sampling off
+}
+
+TEST(ShardedEngine, DegenerateWorkloads) {
+  const CompleteBinaryTree tree(8);
+  const ModuloMapping map(tree, 5);
+  const ShardedEngineRunner runner(map);
+  // More shards than accesses: trailing shards are empty runs.
+  const Workload small = Workload::paths(tree, 4, 3, 1);
+  ShardedOptions opts;
+  opts.shards = 8;
+  const ShardedResult got =
+      runner.run(small, ArrivalSchedule::all_at_once(), opts);
+  EXPECT_EQ(got.merged.accesses, 3u);
+  EXPECT_EQ(got.shards[3].accesses, 0u);
+  EXPECT_EQ(got.merged.records.size(), 3u);
+  // Empty workload.
+  const ShardedResult empty =
+      runner.run(Workload{}, ArrivalSchedule::serialized(), opts);
+  EXPECT_EQ(empty.merged.accesses, 0u);
+  EXPECT_EQ(empty.merged.completion_cycle, 0u);
+}
+
+TEST(ShardedEngine, MetricsRegistryReceivesMergedTrajectory) {
+  const CompleteBinaryTree tree(10);
+  const ModuloMapping map(tree, 7);
+  const Workload workload = Workload::mixed(tree, 7, 60, 3);
+  engine::MetricsRegistry registry;
+  const ShardedEngineRunner runner(map, &registry, "fleet");
+  ShardedOptions opts;
+  opts.shards = 4;
+  const ShardedResult got =
+      runner.run(workload, ArrivalSchedule::all_at_once(), opts);
+  ASSERT_NE(registry.find_counter("fleet.shards"), nullptr);
+  EXPECT_EQ(registry.find_counter("fleet.shards")->value(), 4u);
+  EXPECT_EQ(registry.find_counter("fleet.requests")->value(),
+            got.merged.requests);
+  EXPECT_EQ(registry.find_counter("fleet.cycles")->value(),
+            got.merged.completion_cycle);
+  ASSERT_NE(registry.find_histogram("fleet.latency"), nullptr);
+  EXPECT_EQ(registry.find_histogram("fleet.latency")->count(),
+            got.merged.accesses);
+  EXPECT_EQ(static_cast<std::uint64_t>(
+                registry.find_gauge("fleet.queue_high_water")->high_water()),
+            got.merged.max_queue_depth());
+}
+
+}  // namespace
+}  // namespace pmtree
