@@ -3,7 +3,9 @@
 // run_traced() replays a workload against a mapping and records one entry
 // per access (requests, rounds, conflicts) plus cumulative per-module
 // traffic — the raw material for offline analysis; Trace::print_csv
-// exports it. LatencyModel converts round counts into nanoseconds under a
+// exports it for spreadsheets and Trace::to_json in the same
+// machine-readable format engine metrics snapshots and bench reports use.
+// LatencyModel converts round counts into nanoseconds under a
 // simple fixed-overhead + per-round cost model, turning the paper's
 // abstract conflict counts into end-to-end latency estimates a systems
 // reader can relate to.
@@ -15,6 +17,7 @@
 
 #include "pmtree/mapping/mapping.hpp"
 #include "pmtree/pms/workload.hpp"
+#include "pmtree/util/json.hpp"
 #include "pmtree/util/stats.hpp"
 
 namespace pmtree {
@@ -48,6 +51,14 @@ class Trace {
 
   /// CSV export: access_id,requests,rounds,conflicts per line.
   void print_csv(std::ostream& os) const;
+
+  /// JSON export — the same machine-readable format engine/metrics
+  /// snapshots use:
+  ///   {"accesses": n,
+  ///    "rounds": {"total","mean","max"},
+  ///    "entries": [{"access_id","requests","rounds","conflicts"}...],
+  ///    "traffic": [per-module totals...]}
+  [[nodiscard]] Json to_json() const;
 
  private:
   std::vector<TraceEntry> entries_;

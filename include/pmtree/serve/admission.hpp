@@ -1,0 +1,165 @@
+// Admission control: the bounded front door of the serve pipeline.
+//
+// A production front-end never lets its queue grow without bound — it
+// either sheds load (reject fast, keep latency bounded) or applies
+// backpressure (block the caller until space frees), and it refuses to
+// keep work whose deadline has already passed. AdmissionController is
+// that policy, operated on the server's simulated clock: a FIFO of
+// admitted-but-unbatched requests capped at `queue_bound`, an overflow
+// queue modelling blocked callers (kBlock) or an immediate-shed verdict
+// (kShed), and a deadline sweep that expires requests still queued past
+// their budget. This mirrors how memory-constrained tree schedulers
+// throttle admission to bound in-flight work (Marchal/Sinnen/Vivien;
+// Eyraud-Dubois et al.) — here the bounded resource is the batch queue in
+// front of the parallel memory system.
+//
+// All methods are called from the server's single-threaded control plane
+// in a fixed per-tick order (expire → promote → intake → batch); the
+// controller itself holds no locks and no clock — `now` is always passed
+// in. Determinism follows from that fixed order (DESIGN.md §11).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "pmtree/serve/request.hpp"
+
+namespace pmtree::serve {
+
+/// What to do with a request that finds the admission queue full.
+enum class OverflowPolicy : std::uint8_t {
+  kShed,   ///< reject immediately with RequestStatus::kShed
+  kBlock,  ///< the caller waits; admitted FIFO as soon as space frees
+};
+
+struct AdmissionOptions {
+  /// Maximum requests admitted-but-unbatched at any time. 0 behaves as 1.
+  std::size_t queue_bound = 256;
+  OverflowPolicy overflow = OverflowPolicy::kShed;
+};
+
+/// One queued request, as the batcher sees it: the canonical index plus
+/// the fields admission and batching decide on. `nodes` aliases the
+/// request's payload (owned by the server for the whole run).
+struct QueuedRequest {
+  std::size_t index = 0;            ///< canonical request index
+  std::uint64_t submit_cycle = 0;
+  std::uint64_t deadline_cycles = 0;
+  std::uint64_t admitted_cycle = 0;
+  const std::vector<Node>* nodes = nullptr;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options)
+      : options_(options) {
+    if (options_.queue_bound == 0) options_.queue_bound = 1;
+  }
+
+  enum class Decision : std::uint8_t {
+    kAdmitted,       ///< entered the pending queue at `now`
+    kBlocked,        ///< queue full, caller blocks (kBlock policy)
+    kShedNow,        ///< queue full, rejected (kShed policy)
+    kDeadOnArrival,  ///< deadline already elapsed at intake
+  };
+
+  /// Intake of one submitted request at tick `now`.
+  Decision offer(std::size_t index, const Request& request,
+                 std::uint64_t now) {
+    if (expired_at(request.submit_cycle, request.deadline_cycles, now)) {
+      return Decision::kDeadOnArrival;
+    }
+    QueuedRequest q{index, request.submit_cycle, request.deadline_cycles, now,
+                    &request.nodes};
+    if (pending_.size() < options_.queue_bound) {
+      push_pending(q);
+      return Decision::kAdmitted;
+    }
+    if (options_.overflow == OverflowPolicy::kBlock) {
+      blocked_.push_back(q);
+      return Decision::kBlocked;
+    }
+    return Decision::kShedNow;
+  }
+
+  /// Deadline sweep at tick `now`: removes every queued request — pending
+  /// first (FIFO order), then blocked — whose budget has elapsed, and
+  /// appends their canonical indices to `expired`.
+  void expire(std::uint64_t now, std::vector<std::size_t>& expired) {
+    sweep(pending_, now, expired, /*count_nodes=*/true);
+    sweep(blocked_, now, expired, /*count_nodes=*/false);
+  }
+
+  /// Moves blocked callers into the pending queue while space allows,
+  /// stamping them admitted at `now`; appends promoted indices.
+  void promote(std::uint64_t now, std::vector<std::size_t>& promoted) {
+    while (!blocked_.empty() && pending_.size() < options_.queue_bound) {
+      QueuedRequest q = blocked_.front();
+      blocked_.pop_front();
+      q.admitted_cycle = now;
+      push_pending(q);
+      promoted.push_back(q.index);
+    }
+  }
+
+  /// The batcher drains from the front of this queue (see BatchFormer).
+  /// Callers must keep `pending_node_count` consistent via `on_batched`.
+  [[nodiscard]] std::deque<QueuedRequest>& pending() noexcept {
+    return pending_;
+  }
+  /// Bookkeeping callback: `nodes` payload nodes just left the pending
+  /// queue inside a batch.
+  void on_batched(std::uint64_t nodes) noexcept {
+    pending_node_count_ -= nodes;
+  }
+
+  [[nodiscard]] std::size_t pending_count() const noexcept {
+    return pending_.size();
+  }
+  [[nodiscard]] std::uint64_t pending_node_count() const noexcept {
+    return pending_node_count_;
+  }
+  [[nodiscard]] std::size_t blocked_count() const noexcept {
+    return blocked_.size();
+  }
+  [[nodiscard]] bool idle() const noexcept {
+    return pending_.empty() && blocked_.empty();
+  }
+  [[nodiscard]] const AdmissionOptions& options() const noexcept {
+    return options_;
+  }
+
+  [[nodiscard]] static bool expired_at(std::uint64_t submit,
+                                       std::uint64_t deadline,
+                                       std::uint64_t now) noexcept {
+    return deadline != 0 && now >= submit + deadline;
+  }
+
+ private:
+  void push_pending(const QueuedRequest& q) {
+    pending_.push_back(q);
+    pending_node_count_ += q.nodes->size();
+  }
+
+  void sweep(std::deque<QueuedRequest>& queue, std::uint64_t now,
+             std::vector<std::size_t>& expired, bool count_nodes) {
+    std::deque<QueuedRequest> keep;
+    for (const QueuedRequest& q : queue) {
+      if (expired_at(q.submit_cycle, q.deadline_cycles, now)) {
+        expired.push_back(q.index);
+        if (count_nodes) pending_node_count_ -= q.nodes->size();
+      } else {
+        keep.push_back(q);
+      }
+    }
+    queue.swap(keep);
+  }
+
+  AdmissionOptions options_;
+  std::deque<QueuedRequest> pending_;
+  std::deque<QueuedRequest> blocked_;
+  std::uint64_t pending_node_count_ = 0;
+};
+
+}  // namespace pmtree::serve

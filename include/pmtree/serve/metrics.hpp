@@ -1,0 +1,87 @@
+// ServeMetrics: the SLO-facing observability layer of pmtree::serve.
+//
+// A serving front-end is judged by its tail: p99/p999 end-to-end latency,
+// how much load it shed, how many deadlines it blew, how full its queues
+// ran. ServeMetrics records exactly that view on top of engine::MetricsRegistry
+// — the same instrument kinds (Counter/Gauge/Histogram) the cycle engine
+// uses, under a caller-chosen prefix, so one registry can hold a whole
+// bench run (server + per-replica engine instruments) and export a single
+// deterministic JSON snapshot.
+//
+// Instruments (all under `<prefix>.`):
+//   counters  submitted, admitted, blocked, promoted, completed, shed,
+//             expired, batches, batched_requests, requested_nodes,
+//             batched_nodes, coalesced_nodes, ticks
+//   gauges    queue_depth, blocked_depth (high-water = worst backlog)
+//   histograms latency (end-to-end, kOk), queue_wait (submit → dispatch),
+//             batch_nodes (deduped nodes per batch), batch_requests
+//             (members per batch)
+//
+// summary() distills the SLO view: p50/p95/p99/p999 latency, counters,
+// mean batch occupancy — the JSON object ServeReport carries and
+// bench_e19 writes per configuration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "pmtree/engine/metrics.hpp"
+#include "pmtree/serve/batch.hpp"
+#include "pmtree/serve/request.hpp"
+#include "pmtree/util/json.hpp"
+
+namespace pmtree::serve {
+
+class ServeMetrics {
+ public:
+  /// Instruments are created in `registry` on first touch; the registry
+  /// must outlive this object.
+  explicit ServeMetrics(engine::MetricsRegistry& registry,
+                        std::string prefix = "serve");
+
+  void on_submitted(std::uint64_t count) { submitted_->add(count); }
+  void on_admitted() { admitted_->add(); }
+  void on_blocked() { blocked_->add(); }
+  void on_promoted(std::uint64_t count) { promoted_->add(count); }
+  void on_shed() { shed_->add(); }
+  void on_expired(std::uint64_t count) { expired_->add(count); }
+  void on_tick(std::size_t pending, std::size_t blocked_depth);
+  void on_batch(const FormedBatch& batch);
+  /// Terminal kOk observation: completes the latency / queue-wait view.
+  void on_completed(const Response& response);
+
+  /// SLO snapshot:
+  ///   {"latency": {"count","p50","p95","p99","p999","mean","max"},
+  ///    "queue_wait": {...same shape...},
+  ///    "batches": {"count","mean_requests","mean_nodes","max_nodes",
+  ///                "coalesced_nodes"},
+  ///    "counters": {submitted, admitted, ...},
+  ///    "queues": {"pending_high_water","blocked_high_water"}}
+  [[nodiscard]] Json summary() const;
+
+  [[nodiscard]] const std::string& prefix() const noexcept { return prefix_; }
+
+ private:
+  std::string prefix_;
+  engine::Counter* submitted_;
+  engine::Counter* admitted_;
+  engine::Counter* blocked_;
+  engine::Counter* promoted_;
+  engine::Counter* completed_;
+  engine::Counter* shed_;
+  engine::Counter* expired_;
+  engine::Counter* batches_;
+  engine::Counter* batched_requests_;
+  engine::Counter* requested_nodes_;
+  engine::Counter* batched_nodes_;
+  engine::Counter* coalesced_nodes_;
+  engine::Counter* ticks_;
+  engine::Gauge* queue_depth_;
+  engine::Gauge* blocked_depth_;
+  engine::Histogram* latency_;
+  engine::Histogram* queue_wait_;
+  engine::Histogram* batch_nodes_;
+  engine::Histogram* batch_requests_;
+};
+
+}  // namespace pmtree::serve

@@ -1,0 +1,73 @@
+// Request/Response vocabulary of the pmtree::serve front-end.
+//
+// A Request is one client operation against the tree: a node set to fetch
+// in (at most) one parallel memory access — a point lookup (one node), a
+// dictionary search path, a range query's composite cover. Requests carry
+// a simulated submission cycle and an optional deadline budget; the server
+// timestamps every later state transition on the same simulated clock, so
+// a Response is a complete latency record: when the request was admitted,
+// when its batch dispatched, and when the memory system finished it — or
+// when admission control shed it / its deadline expired while it queued.
+//
+// Identity: (client, seq) names a request uniquely within one Server run.
+// Determinism hangs off this: the server orders everything by
+// (submit_cycle, client, seq), a pure function of the submitted set, so
+// results never depend on which thread delivered which request first
+// (DESIGN.md §11).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pmtree/tree/node.hpp"
+
+namespace pmtree::serve {
+
+enum class RequestStatus : std::uint8_t {
+  kPending,  ///< not yet resolved (never appears in a finished report)
+  kOk,       ///< batched, executed, completed
+  kShed,     ///< rejected by admission control (queue full, kShed policy)
+  kExpired,  ///< deadline elapsed while the request was still queued
+};
+
+[[nodiscard]] constexpr const char* to_string(RequestStatus s) noexcept {
+  switch (s) {
+    case RequestStatus::kPending: return "pending";
+    case RequestStatus::kOk: return "ok";
+    case RequestStatus::kShed: return "shed";
+    case RequestStatus::kExpired: return "expired";
+  }
+  return "?";
+}
+
+struct Request {
+  std::uint32_t client = 0;  ///< submitting client stream
+  std::uint64_t seq = 0;     ///< per-client sequence number (caller-assigned)
+  std::uint64_t submit_cycle = 0;    ///< simulated arrival time
+  std::uint64_t deadline_cycles = 0; ///< latency budget; 0 = no deadline
+  std::vector<Node> nodes;           ///< node set to fetch (may be empty)
+};
+
+struct Response {
+  std::uint32_t client = 0;
+  std::uint64_t seq = 0;
+  RequestStatus status = RequestStatus::kPending;
+  std::uint64_t submit_cycle = 0;
+  std::uint64_t admitted_cycle = 0;    ///< tick admitted into the queue
+  std::uint64_t dispatch_cycle = 0;    ///< tick its batch was formed (kOk)
+  std::uint64_t completion_cycle = 0;  ///< served / shed / expired cycle
+  std::uint64_t batch = 0;             ///< global batch id (valid iff kOk)
+
+  /// End-to-end simulated latency: resolution minus submission. For kOk
+  /// this is queueing + batching wait + memory service; for kShed and
+  /// kExpired it is how long the caller waited for the rejection.
+  [[nodiscard]] std::uint64_t latency() const noexcept {
+    return completion_cycle - submit_cycle;
+  }
+  /// Cycles spent queued before the batch dispatched (kOk only).
+  [[nodiscard]] std::uint64_t queue_wait() const noexcept {
+    return dispatch_cycle - submit_cycle;
+  }
+};
+
+}  // namespace pmtree::serve

@@ -1,0 +1,145 @@
+// Server: the concurrent request front-end of pmtree (DESIGN.md §11).
+//
+// The rest of the library answers "what does one access cost under a
+// mapping"; the server answers the system question on top of it: what
+// latency does a *stream* of concurrent clients observe when their
+// requests are admission-controlled, dynamically batched into template
+// instances, and fed through the cycle-accurate memory engine? The shape
+// is an inference-serving front-end transplanted onto the paper's machine
+// model:
+//
+//   clients ──submit()──▶ MPSC inboxes ─▶ canonical order ─▶ tick loop
+//                                             (admission ▸ batching)
+//                                                  │ batches
+//                                                  ▼
+//                                    replicas × CycleEngine (workers)
+//
+// run() is a simulation on the engine's cycle clock. Submitted requests
+// are drained from the striped inboxes and stably sorted by
+// (submit_cycle, client, seq) — the canonical order, a pure function of
+// the submitted *set*, so results never depend on which thread delivered
+// a request first. The control plane then ticks every `tick_cycles`
+// cycles, each tick running a fixed phase order:
+//
+//   expire  — drop queued requests whose deadline budget has elapsed;
+//   promote — move blocked callers into freed queue slots (FIFO);
+//   intake  — offer newly arrived requests to admission control;
+//   batch   — let the BatchFormer cut zero or more batches;
+//   observe — record queue-depth gauges for this tick.
+//
+// Each formed batch is one parallel memory access, assigned round-robin
+// (batch id mod replicas) to a memory-system replica; every replica runs
+// the existing CycleEngine over its batch list with
+// ArrivalSchedule::explicit_cycles(dispatch ticks). Replicas execute via
+// parallel_chunks with `workers` threads — the ONLY parallel phase.
+// Worker count therefore affects wall-clock only: workers == 1 is the
+// deterministic single-threaded oracle, and any other count produces
+// bit-identical responses, batches and metrics (tested request-for-request
+// at 1/2/8 workers).
+//
+// Graceful shutdown is the run() contract itself: every request submitted
+// before run() reaches a terminal status (kOk, kShed or kExpired) —
+// nothing is silently dropped — and BatchPolicy::max_wait_cycles bounds
+// how long any admitted request can sit unbatched, so the loop provably
+// drains.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pmtree/engine/engine.hpp"
+#include "pmtree/engine/metrics.hpp"
+#include "pmtree/mapping/mapping.hpp"
+#include "pmtree/serve/admission.hpp"
+#include "pmtree/serve/batch.hpp"
+#include "pmtree/serve/metrics.hpp"
+#include "pmtree/serve/request.hpp"
+#include "pmtree/util/json.hpp"
+
+namespace pmtree::serve {
+
+struct ServerOptions {
+  /// Admission tick period in engine cycles (0 behaves as 1). Requests are
+  /// only admitted / batched on tick boundaries — the batching latency any
+  /// request pays is at most tick_cycles of rounding plus its queue wait.
+  std::uint64_t tick_cycles = 4;
+  /// Independent memory-system replicas; batch b executes on replica
+  /// b mod replicas (0 behaves as 1). Replicas model scale-out of the
+  /// memory system itself: each runs the full module array.
+  std::uint32_t replicas = 1;
+  /// Worker threads for replica execution (0 = hardware concurrency).
+  /// Affects wall-clock only; results are bit-identical at any count.
+  unsigned workers = 1;
+  AdmissionOptions admission;
+  BatchPolicy batch;
+  engine::EngineOptions engine;
+};
+
+/// Everything one run() observed, in canonical / dispatch order.
+struct ServeReport {
+  std::vector<Response> responses;      ///< canonical request order
+  std::vector<FormedBatch> batches;     ///< dispatch (batch id) order
+  std::vector<engine::EngineResult> replicas;  ///< per-replica trajectory
+  std::uint64_t ticks = 0;              ///< admission ticks executed
+  std::uint64_t final_cycle = 0;        ///< last completion / resolution
+  Json metrics;                         ///< ServeMetrics::summary()
+
+  [[nodiscard]] std::uint64_t count(RequestStatus status) const noexcept;
+
+  /// Full report as JSON: the metrics summary plus scalar run facts and a
+  /// per-response table — the payload bench_e19 and serve_demo export.
+  [[nodiscard]] Json to_json() const;
+};
+
+class Server {
+ public:
+  /// `mapping` must outlive the server. Instruments land in the server's
+  /// own registry (see registry()) under prefix "serve" plus
+  /// "serve.replicaN.*" for each replica's engine run.
+  explicit Server(const TreeMapping& mapping, ServerOptions options = {});
+
+  /// Thread-safe MPSC submission; callable concurrently from any number
+  /// of client threads. (client, seq) must be unique per run and
+  /// submit_cycle nondecreasing per client, which every sane client
+  /// satisfies by construction.
+  void submit(Request request);
+  void submit(std::vector<Request> requests);
+
+  /// Drains every submitted request to a terminal status and returns the
+  /// full report. Quiesce first: run() must not race concurrent submit()
+  /// calls — the graceful-shutdown contract is "stop submitting, then
+  /// run() resolves everything in flight". May be called repeatedly; each
+  /// run consumes the requests submitted since the previous one.
+  [[nodiscard]] ServeReport run();
+
+  [[nodiscard]] const ServerOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] const TreeMapping& mapping() const noexcept {
+    return mapping_;
+  }
+  /// The registry holding serve.* and serve.replicaN.* instruments,
+  /// cumulative across run() calls.
+  [[nodiscard]] const engine::MetricsRegistry& registry() const noexcept {
+    return registry_;
+  }
+
+ private:
+  static constexpr std::size_t kStripes = 16;
+  struct Inbox {
+    std::mutex mutex;
+    std::vector<Request> requests;
+  };
+
+  [[nodiscard]] std::vector<Request> drain_inboxes();
+
+  const TreeMapping& mapping_;
+  ServerOptions options_;
+  engine::MetricsRegistry registry_;
+  std::array<Inbox, kStripes> inboxes_;
+};
+
+}  // namespace pmtree::serve

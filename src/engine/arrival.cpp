@@ -13,6 +13,8 @@ std::string ArrivalSchedule::name() const {
              ",gap=" + std::to_string(period_) + ")";
     case Kind::kSerialized:
       return "serialized";
+    case Kind::kExplicit:
+      return "explicit(n=" + std::to_string(cycles_.size()) + ")";
   }
   return "unknown";
 }

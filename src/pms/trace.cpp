@@ -22,6 +22,33 @@ void Trace::print_csv(std::ostream& os) const {
   }
 }
 
+Json Trace::to_json() const {
+  Json root = Json::object();
+  root.set("accesses", Json(static_cast<std::uint64_t>(entries_.size())));
+
+  Json rounds = Json::object();
+  rounds.set("total", Json(rounds_.sum()));
+  rounds.set("mean", Json(rounds_.mean()));
+  rounds.set("max", Json(rounds_.max()));
+  root.set("rounds", std::move(rounds));
+
+  Json entries = Json::array();
+  for (const TraceEntry& e : entries_) {
+    Json entry = Json::object();
+    entry.set("access_id", Json(e.access_id));
+    entry.set("requests", Json(e.requests));
+    entry.set("rounds", Json(e.rounds));
+    entry.set("conflicts", Json(e.conflicts));
+    entries.push_back(std::move(entry));
+  }
+  root.set("entries", std::move(entries));
+
+  Json traffic = Json::array();
+  for (const std::uint64_t m : traffic_) traffic.push_back(Json(m));
+  root.set("traffic", std::move(traffic));
+  return root;
+}
+
 Trace run_traced(const TreeMapping& mapping, const Workload& workload) {
   MemorySystem pms(mapping);
   std::vector<TraceEntry> entries;

@@ -1,0 +1,64 @@
+#include "pmtree/serve/batch.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace pmtree::serve {
+
+CompositeInstance BatchFormer::coalesce(std::vector<Node>& nodes) {
+  // Node's default ordering is (level, index) — exactly the order in which
+  // same-level consecutive runs are adjacent.
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+
+  CompositeInstance composite;
+  std::size_t i = 0;
+  while (i < nodes.size()) {
+    std::size_t j = i + 1;
+    while (j < nodes.size() && nodes[j].level == nodes[i].level &&
+           nodes[j].index == nodes[i].index + (j - i)) {
+      ++j;
+    }
+    composite.add(LevelRunInstance{nodes[i], j - i});
+    i = j;
+  }
+  return composite;
+}
+
+std::vector<FormedBatch> BatchFormer::form(std::uint64_t now,
+                                           AdmissionController& controller) {
+  std::vector<FormedBatch> batches;
+  std::deque<QueuedRequest>& pending = controller.pending();
+
+  const auto cut_due = [&]() {
+    if (pending.empty()) return false;
+    if (controller.pending_node_count() >= policy_.max_batch_nodes) return true;
+    return now - pending.front().submit_cycle >= policy_.max_wait_cycles;
+  };
+
+  while (cut_due()) {
+    FormedBatch batch;
+    batch.id = next_id_++;
+    batch.formed_cycle = now;
+    std::uint64_t taken = 0;
+    while (!pending.empty()) {
+      const QueuedRequest& q = pending.front();
+      const std::uint64_t n = q.nodes->size();
+      // The first member always fits (oversized requests dispatch alone);
+      // after that, stop before overflowing the cap.
+      if (!batch.members.empty() && taken + n > policy_.max_batch_nodes) break;
+      batch.members.push_back(q.index);
+      batch.nodes.insert(batch.nodes.end(), q.nodes->begin(), q.nodes->end());
+      taken += n;
+      controller.on_batched(n);
+      pending.pop_front();
+      if (taken >= policy_.max_batch_nodes) break;
+    }
+    batch.requested_nodes = taken;
+    batch.decomposition = coalesce(batch.nodes);
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+}  // namespace pmtree::serve

@@ -1,0 +1,92 @@
+#include "pmtree/serve/clients.hpp"
+
+namespace pmtree::serve {
+namespace {
+
+/// Responses for `client` in seq order. The report is already in canonical
+/// (submit, client, seq) order; per-client seq order needs one stable pass.
+std::vector<const Response*> responses_for(const ServeReport& report,
+                                           std::uint32_t client,
+                                           std::size_t expected) {
+  std::vector<const Response*> mine(expected, nullptr);
+  for (const Response& r : report.responses) {
+    if (r.client == client && r.seq < expected) mine[r.seq] = &r;
+  }
+  return mine;
+}
+
+}  // namespace
+
+std::uint64_t DictionaryClient::submit_search(Server& server,
+                                              Dictionary::Key key,
+                                              std::uint64_t submit_cycle,
+                                              std::uint64_t deadline_cycles) {
+  const std::uint64_t seq = keys_.size();
+  keys_.push_back(key);
+  Request request;
+  request.client = client_;
+  request.seq = seq;
+  request.submit_cycle = submit_cycle;
+  request.deadline_cycles = deadline_cycles;
+  request.nodes = dictionary_->search(key).accessed;
+  server.submit(std::move(request));
+  return seq;
+}
+
+std::vector<DictionaryClient::Outcome> DictionaryClient::join(
+    const ServeReport& report) const {
+  std::vector<Outcome> outcomes;
+  const auto mine = responses_for(report, client_, keys_.size());
+  outcomes.reserve(keys_.size());
+  for (std::size_t seq = 0; seq < keys_.size(); ++seq) {
+    if (mine[seq] == nullptr) continue;  // submitted after this run()
+    Outcome out;
+    out.seq = seq;
+    out.key = keys_[seq];
+    out.response = *mine[seq];
+    if (out.response.status == RequestStatus::kOk) {
+      out.result = dictionary_->search(keys_[seq]);
+    }
+    outcomes.push_back(std::move(out));
+  }
+  return outcomes;
+}
+
+std::uint64_t RangeIndexClient::submit_query(Server& server,
+                                             RangeIndex::Key lo,
+                                             RangeIndex::Key hi,
+                                             std::uint64_t submit_cycle,
+                                             std::uint64_t deadline_cycles) {
+  const std::uint64_t seq = ranges_.size();
+  ranges_.emplace_back(lo, hi);
+  Request request;
+  request.client = client_;
+  request.seq = seq;
+  request.submit_cycle = submit_cycle;
+  request.deadline_cycles = deadline_cycles;
+  request.nodes = index_->query(lo, hi).accessed;
+  server.submit(std::move(request));
+  return seq;
+}
+
+std::vector<RangeIndexClient::Outcome> RangeIndexClient::join(
+    const ServeReport& report) const {
+  std::vector<Outcome> outcomes;
+  const auto mine = responses_for(report, client_, ranges_.size());
+  outcomes.reserve(ranges_.size());
+  for (std::size_t seq = 0; seq < ranges_.size(); ++seq) {
+    if (mine[seq] == nullptr) continue;
+    Outcome out;
+    out.seq = seq;
+    out.lo = ranges_[seq].first;
+    out.hi = ranges_[seq].second;
+    out.response = *mine[seq];
+    if (out.response.status == RequestStatus::kOk) {
+      out.result = index_->query(out.lo, out.hi);
+    }
+    outcomes.push_back(std::move(out));
+  }
+  return outcomes;
+}
+
+}  // namespace pmtree::serve

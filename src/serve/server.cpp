@@ -1,0 +1,255 @@
+#include "pmtree/serve/server.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "pmtree/engine/arrival.hpp"
+#include "pmtree/util/parallel.hpp"
+
+namespace pmtree::serve {
+
+std::uint64_t ServeReport::count(RequestStatus status) const noexcept {
+  std::uint64_t n = 0;
+  for (const Response& r : responses) n += r.status == status ? 1 : 0;
+  return n;
+}
+
+Json ServeReport::to_json() const {
+  Json j = Json::object();
+  j.set("requests", Json(responses.size()));
+  j.set("ok", Json(count(RequestStatus::kOk)));
+  j.set("shed", Json(count(RequestStatus::kShed)));
+  j.set("expired", Json(count(RequestStatus::kExpired)));
+  j.set("batches", Json(batches.size()));
+  j.set("replicas", Json(replicas.size()));
+  j.set("ticks", Json(ticks));
+  j.set("final_cycle", Json(final_cycle));
+  j.set("metrics", metrics);
+
+  Json rows = Json::array();
+  for (const Response& r : responses) {
+    Json row = Json::object();
+    row.set("client", Json(std::uint64_t{r.client}));
+    row.set("seq", Json(r.seq));
+    row.set("status", Json(to_string(r.status)));
+    row.set("submit", Json(r.submit_cycle));
+    row.set("completion", Json(r.completion_cycle));
+    row.set("latency", Json(r.latency()));
+    if (r.status == RequestStatus::kOk) row.set("batch", Json(r.batch));
+    rows.push_back(std::move(row));
+  }
+  j.set("responses", std::move(rows));
+  return j;
+}
+
+Server::Server(const TreeMapping& mapping, ServerOptions options)
+    : mapping_(mapping), options_(options) {
+  if (options_.tick_cycles == 0) options_.tick_cycles = 1;
+  if (options_.replicas == 0) options_.replicas = 1;
+}
+
+void Server::submit(Request request) {
+  Inbox& inbox = inboxes_[request.client % kStripes];
+  const std::lock_guard<std::mutex> lock(inbox.mutex);
+  inbox.requests.push_back(std::move(request));
+}
+
+void Server::submit(std::vector<Request> requests) {
+  for (Request& r : requests) submit(std::move(r));
+}
+
+std::vector<Request> Server::drain_inboxes() {
+  std::vector<Request> all;
+  for (Inbox& inbox : inboxes_) {
+    const std::lock_guard<std::mutex> lock(inbox.mutex);
+    all.insert(all.end(), std::make_move_iterator(inbox.requests.begin()),
+               std::make_move_iterator(inbox.requests.end()));
+    inbox.requests.clear();
+  }
+  return all;
+}
+
+ServeReport Server::run() {
+  // ---- Canonical order: a pure function of the submitted set. ---------
+  std::vector<Request> requests = drain_inboxes();
+  std::stable_sort(requests.begin(), requests.end(),
+                   [](const Request& a, const Request& b) {
+                     if (a.submit_cycle != b.submit_cycle)
+                       return a.submit_cycle < b.submit_cycle;
+                     if (a.client != b.client) return a.client < b.client;
+                     return a.seq < b.seq;
+                   });
+
+  ServeMetrics metrics(registry_);
+  ServeReport report;
+  report.responses.resize(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    Response& r = report.responses[i];
+    r.client = requests[i].client;
+    r.seq = requests[i].seq;
+    r.submit_cycle = requests[i].submit_cycle;
+  }
+  metrics.on_submitted(requests.size());
+
+  // ---- Tick loop: single-threaded control plane. ----------------------
+  const std::uint64_t T = options_.tick_cycles;
+  AdmissionController admission(options_.admission);
+  BatchFormer former(options_.batch);
+  std::size_t next_intake = 0;   // first not-yet-offered canonical index
+  // Requests not yet shed, expired, or dispatched in a batch. Dispatched
+  // requests leave the control plane — their completion cycle is decided
+  // by the replica runs below, not the tick loop.
+  std::size_t unresolved = requests.size();
+  std::uint64_t ticks = 0;
+  std::vector<std::size_t> scratch;
+
+  const auto resolve = [&](std::size_t index, RequestStatus status,
+                           std::uint64_t cycle) {
+    Response& r = report.responses[index];
+    assert(r.status == RequestStatus::kPending);
+    r.status = status;
+    r.completion_cycle = cycle;
+    unresolved -= 1;
+  };
+
+  std::uint64_t t = 0;
+  while (unresolved > 0) {
+    ticks += 1;
+    // Phase 1: expire queued requests whose deadline budget elapsed.
+    scratch.clear();
+    admission.expire(t, scratch);
+    for (const std::size_t index : scratch) {
+      resolve(index, RequestStatus::kExpired, t);
+    }
+    metrics.on_expired(scratch.size());
+
+    // Phase 2: promote blocked callers into freed slots, FIFO — before
+    // intake, so blocked callers outrank this tick's new arrivals.
+    scratch.clear();
+    admission.promote(t, scratch);
+    metrics.on_promoted(scratch.size());
+    for (const std::size_t index : scratch) {
+      report.responses[index].admitted_cycle = t;
+    }
+
+    // Phase 3: intake of everything submitted by now, canonical order.
+    while (next_intake < requests.size() &&
+           requests[next_intake].submit_cycle <= t) {
+      const std::size_t index = next_intake++;
+      switch (admission.offer(index, requests[index], t)) {
+        case AdmissionController::Decision::kAdmitted:
+          report.responses[index].admitted_cycle = t;
+          metrics.on_admitted();
+          break;
+        case AdmissionController::Decision::kBlocked:
+          metrics.on_blocked();
+          break;
+        case AdmissionController::Decision::kShedNow:
+          resolve(index, RequestStatus::kShed, t);
+          metrics.on_shed();
+          break;
+        case AdmissionController::Decision::kDeadOnArrival:
+          resolve(index, RequestStatus::kExpired, t);
+          metrics.on_expired(1);
+          break;
+      }
+    }
+
+    // Phase 4: cut batches. Members get their dispatch stamp here; their
+    // completion waits for the replica runs below.
+    for (FormedBatch& batch : former.form(t, admission)) {
+      for (const std::size_t index : batch.members) {
+        Response& r = report.responses[index];
+        r.dispatch_cycle = t;
+        r.batch = batch.id;
+      }
+      unresolved -= batch.members.size();
+      metrics.on_batch(batch);
+      report.batches.push_back(std::move(batch));
+    }
+
+    // Phase 5: observe queue depths for this tick.
+    metrics.on_tick(admission.pending_count(), admission.blocked_count());
+
+    // Advance. When the queues are idle the next event is the next
+    // submission; jump straight to its tick (ceiling — intake needs
+    // submit_cycle <= t) instead of ticking through the idle gap.
+    if (admission.idle() && next_intake < requests.size()) {
+      const std::uint64_t submit = requests[next_intake].submit_cycle;
+      const std::uint64_t next_tick = (submit + T - 1) / T * T;
+      t = next_tick > t ? next_tick : t + T;
+    } else {
+      t += T;
+    }
+  }
+  report.ticks = ticks;
+
+  // ---- Replica execution: the only parallel phase. --------------------
+  // Batch b runs on replica b mod R; each replica feeds its batch list
+  // through the cycle engine with the dispatch ticks as explicit arrivals
+  // (nondecreasing by construction — batch ids are minted in tick order).
+  const std::uint32_t R = options_.replicas;
+  report.replicas.resize(R);
+  std::vector<std::vector<std::size_t>> plan(R);  // replica -> batch indices
+  for (std::size_t b = 0; b < report.batches.size(); ++b) {
+    plan[b % R].push_back(b);
+  }
+  const unsigned workers =
+      std::min<unsigned>(resolve_threads(options_.workers), R);
+  parallel_chunks(R, workers, /*grain=*/1,
+                  [&](unsigned, std::uint64_t begin, std::uint64_t end) {
+                    for (std::uint64_t r = begin; r < end; ++r) {
+                      std::vector<Workload::Access> accesses;
+                      std::vector<std::uint64_t> arrivals;
+                      accesses.reserve(plan[r].size());
+                      arrivals.reserve(plan[r].size());
+                      for (const std::size_t b : plan[r]) {
+                        accesses.push_back(report.batches[b].nodes);
+                        arrivals.push_back(report.batches[b].formed_cycle);
+                      }
+                      const engine::CycleEngine eng(mapping_);
+                      report.replicas[r] = eng.run(
+                          Workload(std::move(accesses)),
+                          engine::ArrivalSchedule::explicit_cycles(
+                              std::move(arrivals)),
+                          options_.engine);
+                    }
+                  });
+
+  // ---- Response assembly + metrics, deterministic order. --------------
+  std::uint64_t last = 0;
+  for (std::size_t b = 0; b < report.batches.size(); ++b) {
+    const engine::EngineResult& res = report.replicas[b % R];
+    const std::size_t slot = b / R;  // position within the replica's run
+    const std::uint64_t completion = res.records[slot].completion;
+    last = std::max(last, completion);
+    for (const std::size_t index : report.batches[b].members) {
+      Response& r = report.responses[index];
+      assert(r.status == RequestStatus::kPending);
+      r.status = RequestStatus::kOk;
+      r.completion_cycle = completion;
+    }
+  }
+  for (const Response& r : report.responses) {
+    last = std::max(last, r.completion_cycle);
+    if (r.status == RequestStatus::kOk) metrics.on_completed(r);
+  }
+  report.final_cycle = last;
+
+  // Fold the per-replica engine trajectories into the registry under
+  // stable names (replica engines above run without a registry so the
+  // parallel phase never shares one).
+  for (std::uint32_t r = 0; r < R; ++r) {
+    const std::string prefix = "serve.replica" + std::to_string(r);
+    const engine::EngineResult& res = report.replicas[r];
+    registry_.counter(prefix + ".accesses").add(res.accesses);
+    registry_.counter(prefix + ".requests").add(res.requests);
+    registry_.counter(prefix + ".busy_cycles").add(res.busy_cycles);
+  }
+
+  report.metrics = metrics.summary();
+  return report;
+}
+
+}  // namespace pmtree::serve

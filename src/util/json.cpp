@@ -1,11 +1,11 @@
-#include "pmtree/engine/json.hpp"
+#include "pmtree/util/json.hpp"
 
 #include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
-namespace pmtree::engine {
+namespace pmtree {
 
 void Json::set(const std::string& key, Json value) {
   for (auto& [k, v] : members_) {
@@ -305,4 +305,4 @@ std::optional<Json> Json::parse(const std::string& text) {
   return Parser(text).run();
 }
 
-}  // namespace pmtree::engine
+}  // namespace pmtree

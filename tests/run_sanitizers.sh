@@ -7,9 +7,13 @@
 # (test_engine_sharded drives ShardedEngineRunner at 1/2/8 worker threads
 # and asserts bit-identical merges, so any data race in the per-shard
 # slot writes or the fold shows up both as a TSan report and as a
-# mismatch), and the lazy batch-accelerator publication
+# mismatch), the lazy batch-accelerator publication
 # (test_mapping_batch's ConcurrentFirstUseIsConsistent races four threads
-# on a cold ColorMapping).
+# on a cold ColorMapping), and the serve front-end
+# (test_serve_differential races four submitter threads into Server's
+# striped-inbox MPSC path and then runs the replica phase at 1/2/8
+# workers, asserting responses bit-identical to the single-threaded
+# oracle).
 #
 #   tests/run_sanitizers.sh             # all three sanitizers, full suite
 #   tests/run_sanitizers.sh tsan        # one sanitizer

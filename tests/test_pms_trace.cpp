@@ -59,6 +59,55 @@ TEST(Trace, CsvShape) {
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);  // header + 2 rows
 }
 
+TEST(Trace, JsonMatchesEntriesAndTraffic) {
+  const CompleteBinaryTree tree(10);
+  const ModuloMapping map(tree, 7);
+  const auto workload = Workload::mixed(tree, 7, 25, 11);
+  const Trace trace = run_traced(map, workload);
+  const Json json = trace.to_json();
+  ASSERT_EQ(json.find("accesses")->as_uint(), trace.entries().size());
+  const Json* entries = json.find("entries");
+  ASSERT_NE(entries, nullptr);
+  ASSERT_EQ(entries->items().size(), trace.entries().size());
+  for (std::size_t i = 0; i < trace.entries().size(); ++i) {
+    const Json& e = entries->items()[i];
+    EXPECT_EQ(e.find("access_id")->as_uint(), trace.entries()[i].access_id);
+    EXPECT_EQ(e.find("requests")->as_uint(), trace.entries()[i].requests);
+    EXPECT_EQ(e.find("rounds")->as_uint(), trace.entries()[i].rounds);
+    EXPECT_EQ(e.find("conflicts")->as_uint(), trace.entries()[i].conflicts);
+  }
+  const Json* traffic = json.find("traffic");
+  ASSERT_NE(traffic, nullptr);
+  ASSERT_EQ(traffic->items().size(), trace.traffic().size());
+  for (std::size_t m = 0; m < trace.traffic().size(); ++m) {
+    EXPECT_EQ(traffic->items()[m].as_uint(), trace.traffic()[m]);
+  }
+  EXPECT_EQ(json.find("rounds")->find("total")->as_uint(),
+            trace.round_stats().sum());
+  EXPECT_EQ(json.find("rounds")->find("max")->as_uint(),
+            trace.round_stats().max());
+}
+
+TEST(Trace, JsonRoundTripsThroughParser) {
+  // The serialized trace re-parses to the identical Json value, both
+  // compact and pretty-printed — trace artifacts share the engine
+  // snapshot format's lossless round-trip guarantee.
+  const CompleteBinaryTree tree(8);
+  const ModuloMapping map(tree, 5);
+  const auto workload = Workload::paths(tree, 5, 12, 9);
+  const Json json = run_traced(map, workload).to_json();
+  const auto compact = Json::parse(json.dump());
+  ASSERT_TRUE(compact.has_value());
+  EXPECT_EQ(*compact, json);
+  const auto pretty = Json::parse(json.dump(2));
+  ASSERT_TRUE(pretty.has_value());
+  EXPECT_EQ(*pretty, json);
+  // Empty trace is still a well-formed document.
+  const Json empty = run_traced(map, Workload{}).to_json();
+  EXPECT_EQ(empty.find("accesses")->as_uint(), 0u);
+  ASSERT_TRUE(Json::parse(empty.dump()).has_value());
+}
+
 TEST(LatencyModel, AccessCost) {
   const LatencyModel model{40, 100};
   EXPECT_EQ(model.access_ns(1), 140u);

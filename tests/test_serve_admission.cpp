@@ -1,0 +1,257 @@
+// Admission-control tests, unit level and through the server: bounded
+// queue with shed vs block overflow, FIFO promotion, deadline expiry
+// while queued, dead-on-arrival intake, and the edge paths ISSUE lists —
+// zero-request runs, empty-payload requests, graceful shutdown with
+// requests in flight.
+#include "pmtree/serve/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pmtree/mapping/baselines.hpp"
+#include "pmtree/serve/server.hpp"
+#include "pmtree/tree/tree.hpp"
+
+namespace pmtree::serve {
+namespace {
+
+using Decision = AdmissionController::Decision;
+
+Request make_request(std::uint32_t client, std::uint64_t seq,
+                     std::uint64_t submit, std::vector<Node> nodes,
+                     std::uint64_t deadline = 0) {
+  Request r;
+  r.client = client;
+  r.seq = seq;
+  r.submit_cycle = submit;
+  r.deadline_cycles = deadline;
+  r.nodes = std::move(nodes);
+  return r;
+}
+
+TEST(AdmissionController, ShedsWhenFullUnderShedPolicy) {
+  AdmissionController admission(
+      AdmissionOptions{.queue_bound = 2, .overflow = OverflowPolicy::kShed});
+  const std::vector<Request> requests{
+      make_request(0, 0, 0, {v(0, 0)}),
+      make_request(0, 1, 0, {v(0, 1)}),
+      make_request(0, 2, 0, {v(1, 1)}),
+  };
+  EXPECT_EQ(admission.offer(0, requests[0], 0), Decision::kAdmitted);
+  EXPECT_EQ(admission.offer(1, requests[1], 0), Decision::kAdmitted);
+  EXPECT_EQ(admission.offer(2, requests[2], 0), Decision::kShedNow);
+  EXPECT_EQ(admission.pending_count(), 2u);
+  EXPECT_EQ(admission.blocked_count(), 0u);
+}
+
+TEST(AdmissionController, BlocksThenPromotesFifo) {
+  AdmissionController admission(
+      AdmissionOptions{.queue_bound = 1, .overflow = OverflowPolicy::kBlock});
+  const std::vector<Request> requests{
+      make_request(0, 0, 0, {v(0, 0)}),
+      make_request(0, 1, 0, {v(0, 1)}),
+      make_request(0, 2, 0, {v(1, 1)}),
+  };
+  EXPECT_EQ(admission.offer(0, requests[0], 0), Decision::kAdmitted);
+  EXPECT_EQ(admission.offer(1, requests[1], 0), Decision::kBlocked);
+  EXPECT_EQ(admission.offer(2, requests[2], 0), Decision::kBlocked);
+  EXPECT_EQ(admission.blocked_count(), 2u);
+
+  // Queue still full: nothing promotes.
+  std::vector<std::size_t> promoted;
+  admission.promote(1, promoted);
+  EXPECT_TRUE(promoted.empty());
+
+  // Drain the pending slot, then promotion is FIFO and restamps admission.
+  admission.on_batched(admission.pending().front().nodes->size());
+  admission.pending().pop_front();
+  admission.promote(2, promoted);
+  ASSERT_EQ(promoted, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(admission.pending().front().admitted_cycle, 2u);
+  EXPECT_EQ(admission.blocked_count(), 1u);
+}
+
+TEST(AdmissionController, ExpireSweepsPendingAndBlocked) {
+  AdmissionController admission(
+      AdmissionOptions{.queue_bound = 1, .overflow = OverflowPolicy::kBlock});
+  const std::vector<Request> requests{
+      make_request(0, 0, 0, {v(0, 0)}, /*deadline=*/4),
+      make_request(0, 1, 0, {v(0, 1)}, /*deadline=*/6),
+      make_request(0, 2, 0, {v(1, 1)}),  // no deadline: immortal in queue
+  };
+  ASSERT_EQ(admission.offer(0, requests[0], 0), Decision::kAdmitted);
+  ASSERT_EQ(admission.offer(1, requests[1], 0), Decision::kBlocked);
+  ASSERT_EQ(admission.offer(2, requests[2], 0), Decision::kBlocked);
+
+  std::vector<std::size_t> expired;
+  admission.expire(3, expired);
+  EXPECT_TRUE(expired.empty());
+
+  // t = 4: the pending request's budget elapses (deadline boundary is
+  // inclusive-expired: now >= submit + deadline).
+  admission.expire(4, expired);
+  EXPECT_EQ(expired, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(admission.pending_count(), 0u);
+  EXPECT_EQ(admission.pending_node_count(), 0u);
+
+  // t = 6: the blocked request expires without ever being admitted.
+  expired.clear();
+  admission.expire(6, expired);
+  EXPECT_EQ(expired, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(admission.blocked_count(), 1u);
+}
+
+TEST(AdmissionController, DeadOnArrivalIsRejectedAtIntake) {
+  AdmissionController admission(AdmissionOptions{});
+  const Request late = make_request(0, 0, 0, {v(0, 0)}, /*deadline=*/3);
+  EXPECT_EQ(admission.offer(0, late, 3), Decision::kDeadOnArrival);
+  EXPECT_TRUE(admission.idle());
+}
+
+// ---- Server-level edge paths -----------------------------------------
+
+ServerOptions tight_options() {
+  ServerOptions opts;
+  opts.tick_cycles = 1;
+  opts.batch.max_wait_cycles = 10;
+  opts.batch.max_batch_nodes = 64;
+  return opts;
+}
+
+TEST(ServerEdge, DeadlineExpiresWhileQueued) {
+  const CompleteBinaryTree tree(6);
+  const ModuloMapping map(tree, 4);
+  ServerOptions opts = tight_options();
+  Server server(map, opts);
+
+  // max_wait 10 keeps the queue un-batched until cycle 10; the deadline
+  // of 5 fires first, while the request is still queued.
+  server.submit(make_request(0, 0, 0, {v(0, 0)}, /*deadline=*/5));
+  const ServeReport report = server.run();
+  ASSERT_EQ(report.responses.size(), 1u);
+  EXPECT_EQ(report.responses[0].status, RequestStatus::kExpired);
+  EXPECT_EQ(report.responses[0].completion_cycle, 5u);
+  EXPECT_EQ(report.responses[0].latency(), 5u);
+  EXPECT_TRUE(report.batches.empty());
+  EXPECT_EQ(report.count(RequestStatus::kExpired), 1u);
+}
+
+TEST(ServerEdge, ShedUnderBackpressure) {
+  const CompleteBinaryTree tree(6);
+  const ModuloMapping map(tree, 4);
+  ServerOptions opts = tight_options();
+  opts.admission.queue_bound = 1;
+  opts.admission.overflow = OverflowPolicy::kShed;
+  Server server(map, opts);
+
+  for (std::uint64_t seq = 0; seq < 3; ++seq) {
+    server.submit(make_request(0, seq, 0, {v(seq, 3)}));
+  }
+  const ServeReport report = server.run();
+  ASSERT_EQ(report.responses.size(), 3u);
+  // Canonical order admits seq 0 into the single slot; 1 and 2 shed
+  // immediately with zero latency.
+  EXPECT_EQ(report.responses[0].status, RequestStatus::kOk);
+  EXPECT_EQ(report.responses[1].status, RequestStatus::kShed);
+  EXPECT_EQ(report.responses[2].status, RequestStatus::kShed);
+  EXPECT_EQ(report.responses[1].latency(), 0u);
+  EXPECT_EQ(report.count(RequestStatus::kShed), 2u);
+  const Json* shed = report.metrics.find("counters")->find("shed");
+  ASSERT_NE(shed, nullptr);
+  EXPECT_EQ(shed->as_uint(), 2u);
+}
+
+TEST(ServerEdge, BlockedCallersAreServedFifoNotShed) {
+  const CompleteBinaryTree tree(6);
+  const ModuloMapping map(tree, 4);
+  ServerOptions opts = tight_options();
+  opts.admission.queue_bound = 1;
+  opts.admission.overflow = OverflowPolicy::kBlock;
+  opts.batch.max_wait_cycles = 0;  // flush each tick so slots free quickly
+  Server server(map, opts);
+
+  for (std::uint64_t seq = 0; seq < 3; ++seq) {
+    server.submit(make_request(0, seq, 0, {v(seq, 3)}));
+  }
+  const ServeReport report = server.run();
+  ASSERT_EQ(report.responses.size(), 3u);
+  for (const Response& r : report.responses) {
+    EXPECT_EQ(r.status, RequestStatus::kOk);
+  }
+  // FIFO: dispatch order follows submission order.
+  EXPECT_LT(report.responses[0].dispatch_cycle,
+            report.responses[1].dispatch_cycle);
+  EXPECT_LT(report.responses[1].dispatch_cycle,
+            report.responses[2].dispatch_cycle);
+  EXPECT_EQ(report.count(RequestStatus::kShed), 0u);
+}
+
+TEST(ServerEdge, ZeroRequestRunIsWellFormed) {
+  const CompleteBinaryTree tree(4);
+  const ModuloMapping map(tree, 3);
+  Server server(map);
+  const ServeReport report = server.run();
+  EXPECT_TRUE(report.responses.empty());
+  EXPECT_TRUE(report.batches.empty());
+  EXPECT_EQ(report.ticks, 0u);
+  EXPECT_EQ(report.final_cycle, 0u);
+  // The report still exports a complete, parseable JSON document.
+  const auto parsed = Json::parse(report.to_json().dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("requests")->as_uint(), 0u);
+}
+
+TEST(ServerEdge, EmptyPayloadRequestCompletesAtDispatch) {
+  const CompleteBinaryTree tree(4);
+  const ModuloMapping map(tree, 3);
+  ServerOptions opts = tight_options();
+  opts.batch.max_wait_cycles = 0;
+  Server server(map, opts);
+  server.submit(make_request(0, 0, 0, {}));
+  const ServeReport report = server.run();
+  ASSERT_EQ(report.responses.size(), 1u);
+  EXPECT_EQ(report.responses[0].status, RequestStatus::kOk);
+  EXPECT_EQ(report.responses[0].completion_cycle,
+            report.responses[0].dispatch_cycle);
+}
+
+TEST(ServerEdge, GracefulShutdownResolvesEveryInFlightRequest) {
+  // A pile of requests with mixed deadlines under a tight blocking queue:
+  // run() must leave nothing pending — every submitted request reaches a
+  // terminal status (the graceful-shutdown contract).
+  const CompleteBinaryTree tree(8);
+  const ModuloMapping map(tree, 5);
+  ServerOptions opts = tight_options();
+  opts.admission.queue_bound = 2;
+  opts.admission.overflow = OverflowPolicy::kBlock;
+  opts.batch.max_batch_nodes = 4;
+  opts.batch.max_wait_cycles = 6;
+  Server server(map, opts);
+
+  const std::size_t kRequests = 40;
+  for (std::uint64_t seq = 0; seq < kRequests; ++seq) {
+    const std::uint64_t deadline = seq % 3 == 0 ? 3 : 0;
+    server.submit(make_request(static_cast<std::uint32_t>(seq % 4), seq / 4,
+                               seq / 8, {v(seq % 16, 4), v(seq % 8, 3)},
+                               deadline));
+  }
+  const ServeReport report = server.run();
+  ASSERT_EQ(report.responses.size(), kRequests);
+  std::uint64_t terminal = 0;
+  for (const Response& r : report.responses) {
+    EXPECT_NE(r.status, RequestStatus::kPending);
+    terminal += r.status != RequestStatus::kPending ? 1 : 0;
+    EXPECT_GE(r.completion_cycle, r.submit_cycle);
+  }
+  EXPECT_EQ(terminal, kRequests);
+  EXPECT_EQ(report.count(RequestStatus::kOk) +
+                report.count(RequestStatus::kShed) +
+                report.count(RequestStatus::kExpired),
+            kRequests);
+  // Blocking policy never sheds.
+  EXPECT_EQ(report.count(RequestStatus::kShed), 0u);
+}
+
+}  // namespace
+}  // namespace pmtree::serve

@@ -1,0 +1,175 @@
+// BatchFormer unit tests: the coalescing kernel (sort, dedup, maximal
+// per-level runs) and the cut policy (node threshold, wait budget,
+// oversized requests).
+#include "pmtree/serve/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pmtree/serve/admission.hpp"
+#include "pmtree/serve/request.hpp"
+
+namespace pmtree::serve {
+namespace {
+
+Request make_request(std::uint64_t seq, std::uint64_t submit,
+                     std::vector<Node> nodes) {
+  Request r;
+  r.client = 0;
+  r.seq = seq;
+  r.submit_cycle = submit;
+  r.nodes = std::move(nodes);
+  return r;
+}
+
+TEST(BatchCoalesce, SortsDedupsAndFindsMaximalRuns) {
+  std::vector<Node> nodes{v(5, 3), v(2, 3), v(3, 3), v(2, 3), v(0, 0),
+                          v(6, 3)};
+  const CompositeInstance c = BatchFormer::coalesce(nodes);
+
+  // Deduped and in (level, index) order.
+  const std::vector<Node> want{v(0, 0), v(2, 3), v(3, 3), v(5, 3), v(6, 3)};
+  EXPECT_EQ(nodes, want);
+
+  // Maximal runs: {root}, {v(2..3, 3)}, {v(5..6, 3)} — a C(5, 3).
+  ASSERT_EQ(c.component_count(), 3u);
+  EXPECT_EQ(c.size(), 5u);
+  EXPECT_TRUE(c.is_disjoint());
+  const auto* run0 = c.parts()[0].get_if<LevelRunInstance>();
+  const auto* run1 = c.parts()[1].get_if<LevelRunInstance>();
+  const auto* run2 = c.parts()[2].get_if<LevelRunInstance>();
+  ASSERT_NE(run0, nullptr);
+  ASSERT_NE(run1, nullptr);
+  ASSERT_NE(run2, nullptr);
+  EXPECT_EQ(run0->first, v(0, 0));
+  EXPECT_EQ(run0->size, 1u);
+  EXPECT_EQ(run1->first, v(2, 3));
+  EXPECT_EQ(run1->size, 2u);
+  EXPECT_EQ(run2->first, v(5, 3));
+  EXPECT_EQ(run2->size, 2u);
+  // The composite's flattened node order matches the deduped input.
+  EXPECT_EQ(c.nodes(), want);
+}
+
+TEST(BatchCoalesce, RunsNeverSpanLevels) {
+  // v(3, 2) is the last node of level 2; v(0, 3) is BFS-adjacent but on
+  // the next level — they must form two runs, not one.
+  std::vector<Node> nodes{v(3, 2), v(0, 3)};
+  const CompositeInstance c = BatchFormer::coalesce(nodes);
+  ASSERT_EQ(c.component_count(), 2u);
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(BatchCoalesce, EmptyInputYieldsEmptyComposite) {
+  std::vector<Node> nodes;
+  const CompositeInstance c = BatchFormer::coalesce(nodes);
+  EXPECT_EQ(c.component_count(), 0u);
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(BatchFormer, HoldsUntilWaitBudgetElapses) {
+  AdmissionController admission(AdmissionOptions{});
+  BatchFormer former(BatchPolicy{.max_batch_nodes = 1000,
+                                 .max_wait_cycles = 5});
+  const std::vector<Request> requests{
+      make_request(0, 0, {v(0, 0)}),
+      make_request(1, 2, {v(0, 1), v(1, 1)}),
+  };
+  ASSERT_EQ(admission.offer(0, requests[0], 0),
+            AdmissionController::Decision::kAdmitted);
+  ASSERT_EQ(admission.offer(1, requests[1], 2),
+            AdmissionController::Decision::kAdmitted);
+
+  // Oldest waited 4 < 5: nothing cuts.
+  EXPECT_TRUE(former.form(4, admission).empty());
+  EXPECT_EQ(admission.pending_count(), 2u);
+
+  // At 5, the wait budget elapses and both ride one batch.
+  const auto batches = former.form(5, admission);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].formed_cycle, 5u);
+  EXPECT_EQ(batches[0].members, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(batches[0].requested_nodes, 3u);
+  EXPECT_EQ(batches[0].nodes.size(), 3u);
+  EXPECT_EQ(batches[0].coalesced_nodes(), 0u);
+  EXPECT_TRUE(admission.idle());
+  EXPECT_EQ(admission.pending_node_count(), 0u);
+}
+
+TEST(BatchFormer, CutsOnNodeThresholdAndRespectsCap) {
+  AdmissionController admission(AdmissionOptions{});
+  BatchFormer former(BatchPolicy{.max_batch_nodes = 4, .max_wait_cycles = 100});
+  const std::vector<Request> requests{
+      make_request(0, 0, {v(0, 2), v(1, 2)}),
+      make_request(1, 0, {v(2, 2), v(3, 2)}),
+      make_request(2, 0, {v(0, 3), v(1, 3)}),
+  };
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_EQ(admission.offer(i, requests[i], 0),
+              AdmissionController::Decision::kAdmitted);
+  }
+
+  // 6 pending nodes >= 4: one batch cuts, capped at 4 nodes (two
+  // requests); the 2-node remainder is below both triggers and waits.
+  const auto batches = former.form(0, admission);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].members, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(batches[0].nodes.size(), 4u);
+  EXPECT_EQ(admission.pending_count(), 1u);
+  EXPECT_EQ(admission.pending_node_count(), 2u);
+
+  // The straggler cuts once its wait budget elapses.
+  const auto later = former.form(100, admission);
+  ASSERT_EQ(later.size(), 1u);
+  EXPECT_EQ(later[0].id, 1u);
+  EXPECT_EQ(later[0].members, (std::vector<std::size_t>{2}));
+}
+
+TEST(BatchFormer, OversizedRequestDispatchesAlone) {
+  AdmissionController admission(AdmissionOptions{});
+  BatchFormer former(BatchPolicy{.max_batch_nodes = 2, .max_wait_cycles = 0});
+  std::vector<Node> big;
+  for (std::uint64_t i = 0; i < 7; ++i) big.push_back(v(i, 3));
+  const std::vector<Request> requests{
+      make_request(0, 0, std::move(big)),
+      make_request(1, 0, {v(0, 1)}),
+  };
+  ASSERT_EQ(admission.offer(0, requests[0], 0),
+            AdmissionController::Decision::kAdmitted);
+  ASSERT_EQ(admission.offer(1, requests[1], 0),
+            AdmissionController::Decision::kAdmitted);
+
+  // max_wait 0 flushes everything this tick: the oversized request is its
+  // own batch (never split, never starved); the small one follows.
+  const auto batches = former.form(0, admission);
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].members, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(batches[0].nodes.size(), 7u);
+  ASSERT_EQ(batches[0].decomposition.component_count(), 1u);  // one L(7) run
+  EXPECT_EQ(batches[1].members, (std::vector<std::size_t>{1}));
+}
+
+TEST(BatchFormer, DuplicateLookupsCoalesce) {
+  AdmissionController admission(AdmissionOptions{});
+  BatchFormer former(BatchPolicy{.max_batch_nodes = 64, .max_wait_cycles = 0});
+  // Three clients hitting the same hot path.
+  const std::vector<Node> path{v(0, 0), v(1, 1), v(2, 2)};
+  const std::vector<Request> requests{
+      make_request(0, 0, path),
+      make_request(1, 0, path),
+      make_request(2, 0, path),
+  };
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_EQ(admission.offer(i, requests[i], 0),
+              AdmissionController::Decision::kAdmitted);
+  }
+  const auto batches = former.form(0, admission);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].requested_nodes, 9u);
+  EXPECT_EQ(batches[0].nodes.size(), 3u);  // the union is one path
+  EXPECT_EQ(batches[0].coalesced_nodes(), 6u);
+}
+
+}  // namespace
+}  // namespace pmtree::serve

@@ -1,0 +1,153 @@
+// Determinism property tests for the serve front-end (DESIGN.md §11):
+// across randomized (mapping, workload, deadline, queue-bound, policy)
+// configurations, the multi-threaded server must be bit-identical,
+// request-for-request, to the single-threaded oracle — at 1, 2 and 8
+// workers — and concurrent submission from many client threads must
+// produce exactly the sequential-submission report.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "pmtree/mapping/baselines.hpp"
+#include "pmtree/mapping/color.hpp"
+#include "pmtree/serve/server.hpp"
+#include "pmtree/util/rng.hpp"
+
+namespace pmtree::serve {
+namespace {
+
+struct Config {
+  std::unique_ptr<CompleteBinaryTree> tree;
+  std::unique_ptr<TreeMapping> mapping;
+  ServerOptions options;
+  std::vector<Request> requests;
+};
+
+Config random_config(std::uint64_t seed) {
+  Rng rng(seed);
+  Config cfg;
+  const std::uint32_t levels = static_cast<std::uint32_t>(rng.between(5, 9));
+  cfg.tree = std::make_unique<CompleteBinaryTree>(levels);
+  const std::uint32_t modules = static_cast<std::uint32_t>(rng.between(3, 17));
+  if (rng.chance(1, 2)) {
+    cfg.mapping = std::make_unique<ColorMapping>(
+        make_optimal_color_mapping(*cfg.tree, modules));
+  } else {
+    cfg.mapping = std::make_unique<ModuloMapping>(*cfg.tree, modules);
+  }
+
+  cfg.options.tick_cycles = rng.between(1, 6);
+  cfg.options.replicas = static_cast<std::uint32_t>(rng.between(1, 4));
+  cfg.options.admission.queue_bound = rng.between(1, 32);
+  cfg.options.admission.overflow =
+      rng.chance(1, 2) ? OverflowPolicy::kShed : OverflowPolicy::kBlock;
+  cfg.options.batch.max_batch_nodes = rng.between(2, 48);
+  cfg.options.batch.max_wait_cycles = rng.between(0, 12);
+  cfg.options.engine.sampling =
+      engine::EngineOptions::DepthSampling::kStrided;
+  cfg.options.engine.sample_stride = 16;
+
+  const std::size_t count = rng.between(20, 120);
+  std::uint64_t clock = 0;
+  std::vector<std::uint64_t> next_seq(4, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    clock += rng.below(5);
+    Request r;
+    r.client = static_cast<std::uint32_t>(rng.below(4));
+    r.seq = next_seq[r.client]++;
+    r.submit_cycle = clock;
+    r.deadline_cycles = rng.chance(1, 4) ? rng.between(1, 20) : 0;
+    const std::size_t nodes = rng.below(6);  // 0..5, empty payloads included
+    for (std::size_t k = 0; k < nodes; ++k) {
+      const std::uint32_t level =
+          static_cast<std::uint32_t>(rng.below(levels));
+      r.nodes.push_back(v(rng.below(pow2(level)), level));
+    }
+    cfg.requests.push_back(std::move(r));
+  }
+  return cfg;
+}
+
+ServeReport run_with_workers(const Config& cfg, unsigned workers) {
+  ServerOptions opts = cfg.options;
+  opts.workers = workers;
+  Server server(*cfg.mapping, opts);
+  for (const Request& r : cfg.requests) server.submit(r);
+  return server.run();
+}
+
+void expect_same_report(const ServeReport& got, const ServeReport& want) {
+  ASSERT_EQ(got.responses.size(), want.responses.size());
+  for (std::size_t i = 0; i < got.responses.size(); ++i) {
+    const Response& a = got.responses[i];
+    const Response& b = want.responses[i];
+    ASSERT_EQ(a.client, b.client) << i;
+    ASSERT_EQ(a.seq, b.seq) << i;
+    ASSERT_EQ(a.status, b.status) << i;
+    ASSERT_EQ(a.submit_cycle, b.submit_cycle) << i;
+    ASSERT_EQ(a.admitted_cycle, b.admitted_cycle) << i;
+    ASSERT_EQ(a.dispatch_cycle, b.dispatch_cycle) << i;
+    ASSERT_EQ(a.completion_cycle, b.completion_cycle) << i;
+    ASSERT_EQ(a.batch, b.batch) << i;
+  }
+  ASSERT_EQ(got.batches.size(), want.batches.size());
+  for (std::size_t b = 0; b < got.batches.size(); ++b) {
+    ASSERT_EQ(got.batches[b].members, want.batches[b].members) << b;
+    ASSERT_EQ(got.batches[b].nodes, want.batches[b].nodes) << b;
+    ASSERT_EQ(got.batches[b].formed_cycle, want.batches[b].formed_cycle) << b;
+  }
+  ASSERT_EQ(got.ticks, want.ticks);
+  ASSERT_EQ(got.final_cycle, want.final_cycle);
+  // The whole report — metrics, per-replica trajectories, response rows —
+  // serializes identically.
+  ASSERT_EQ(got.to_json().dump(), want.to_json().dump());
+}
+
+TEST(ServeDifferential, WorkerCountNeverChangesResults) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const Config cfg = random_config(seed * 7919);
+    const ServeReport oracle = run_with_workers(cfg, 1);
+
+    // Terminal-status accounting holds on the oracle itself.
+    ASSERT_EQ(oracle.count(RequestStatus::kOk) +
+                  oracle.count(RequestStatus::kShed) +
+                  oracle.count(RequestStatus::kExpired),
+              cfg.requests.size());
+
+    for (const unsigned workers : {2u, 8u}) {
+      SCOPED_TRACE("workers=" + std::to_string(workers));
+      expect_same_report(run_with_workers(cfg, workers), oracle);
+    }
+  }
+}
+
+TEST(ServeDifferential, ConcurrentSubmissionMatchesSequential) {
+  for (std::uint64_t seed : {3u, 11u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const Config cfg = random_config(seed * 104729);
+    const ServeReport sequential = run_with_workers(cfg, 1);
+
+    ServerOptions opts = cfg.options;
+    opts.workers = 8;
+    Server server(*cfg.mapping, opts);
+    // Four submitter threads interleave arbitrarily; the canonical order
+    // makes the outcome a function of the submitted set alone.
+    std::vector<std::thread> submitters;
+    for (unsigned t = 0; t < 4; ++t) {
+      submitters.emplace_back([&, t] {
+        for (std::size_t i = t; i < cfg.requests.size(); i += 4) {
+          server.submit(cfg.requests[i]);
+        }
+      });
+    }
+    for (auto& th : submitters) th.join();
+    expect_same_report(server.run(), sequential);
+  }
+}
+
+}  // namespace
+}  // namespace pmtree::serve

@@ -1,0 +1,216 @@
+// End-to-end server tests: the dictionary and range-index clients driving
+// a Server, batching/coalescing observable in the metrics, replica
+// round-robin, JSON report shape, and deterministic re-runs.
+#include "pmtree/serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "pmtree/apps/dictionary.hpp"
+#include "pmtree/apps/range_index.hpp"
+#include "pmtree/mapping/baselines.hpp"
+#include "pmtree/mapping/color.hpp"
+#include "pmtree/serve/clients.hpp"
+
+namespace pmtree::serve {
+namespace {
+
+std::vector<std::int64_t> sequential_keys(std::uint32_t levels) {
+  std::vector<std::int64_t> keys(pow2(levels) - 1);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = static_cast<std::int64_t>(10 * i);
+  }
+  return keys;
+}
+
+TEST(ServerClients, DictionarySearchesRoundTrip) {
+  const std::uint32_t kLevels = 6;
+  const Dictionary dict(sequential_keys(kLevels));
+  const ColorMapping map = make_optimal_color_mapping(dict.tree(), 11);
+  ServerOptions opts;
+  opts.tick_cycles = 2;
+  opts.batch.max_batch_nodes = 24;
+  opts.batch.max_wait_cycles = 8;
+  Server server(map, opts);
+
+  DictionaryClient client(dict, /*client_id=*/7);
+  const std::vector<Dictionary::Key> keys{0, 10, 15, 300, 620, -5};
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    client.submit_search(server, keys[i], /*submit_cycle=*/2 * i);
+  }
+  const ServeReport report = server.run();
+  const auto outcomes = client.join(report);
+  ASSERT_EQ(outcomes.size(), keys.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    SCOPED_TRACE("key=" + std::to_string(keys[i]));
+    EXPECT_EQ(outcomes[i].response.status, RequestStatus::kOk);
+    // The joined answer agrees with a direct (unserved) search.
+    const Dictionary::SearchResult direct = dict.search(keys[i]);
+    EXPECT_EQ(outcomes[i].result.found, direct.found);
+    if (direct.found) {
+      EXPECT_EQ(outcomes[i].result.node, direct.node);
+    }
+    // Timing is causally ordered on the simulated clock.
+    const Response& r = outcomes[i].response;
+    EXPECT_GE(r.dispatch_cycle, r.submit_cycle);
+    EXPECT_GT(r.completion_cycle, r.dispatch_cycle);  // a path is >= 1 node
+  }
+  // Present keys found, absent keys not.
+  EXPECT_TRUE(outcomes[0].result.found);
+  EXPECT_TRUE(outcomes[1].result.found);
+  EXPECT_FALSE(outcomes[2].result.found);  // 15 is between stored keys
+  EXPECT_FALSE(outcomes[5].result.found);  // -5 below the range
+}
+
+TEST(ServerClients, RangeQueriesRoundTrip) {
+  const RangeIndex index(sequential_keys(5));
+  const ModuloMapping map(index.tree(), 7);
+  ServerOptions opts;
+  opts.batch.max_wait_cycles = 4;
+  Server server(map, opts);
+
+  RangeIndexClient client(index, /*client_id=*/1);
+  const std::vector<std::pair<std::int64_t, std::int64_t>> ranges{
+      {0, 50}, {95, 145}, {200, 190}, {290, 400}};
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    client.submit_query(server, ranges[i].first, ranges[i].second,
+                        /*submit_cycle=*/i);
+  }
+  const ServeReport report = server.run();
+  const auto outcomes = client.join(report);
+  ASSERT_EQ(outcomes.size(), ranges.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    SCOPED_TRACE("range " + std::to_string(ranges[i].first) + ".." +
+                 std::to_string(ranges[i].second));
+    EXPECT_EQ(outcomes[i].response.status, RequestStatus::kOk);
+    const RangeIndex::QueryResult direct =
+        index.query(ranges[i].first, ranges[i].second);
+    EXPECT_EQ(outcomes[i].result.keys, direct.keys);
+  }
+  EXPECT_TRUE(outcomes[2].result.keys.empty());  // inverted range
+}
+
+TEST(ServerClients, HotKeyLookupsCoalesceAcrossClients) {
+  const Dictionary dict(sequential_keys(6));
+  const ColorMapping map = make_optimal_color_mapping(dict.tree(), 11);
+  ServerOptions opts;
+  opts.tick_cycles = 1;
+  opts.batch.max_batch_nodes = 256;
+  opts.batch.max_wait_cycles = 0;  // flush the co-arriving burst as one batch
+  Server server(map, opts);
+
+  // Eight clients, same hot key, same cycle: the eight identical paths
+  // must collapse into one physical path in one batch.
+  std::vector<DictionaryClient> clients;
+  for (std::uint32_t c = 0; c < 8; ++c) clients.emplace_back(dict, c);
+  for (auto& client : clients) client.submit_search(server, 100, 0);
+
+  const ServeReport report = server.run();
+  ASSERT_EQ(report.batches.size(), 1u);
+  EXPECT_EQ(report.batches[0].members.size(), 8u);
+  EXPECT_EQ(report.batches[0].requested_nodes, 8u * dict.tree().levels());
+  EXPECT_EQ(report.batches[0].nodes.size(), dict.tree().levels());
+  EXPECT_EQ(report.batches[0].coalesced_nodes(), 7u * dict.tree().levels());
+  // All eight observe the same completion cycle (they share the batch).
+  for (std::size_t i = 1; i < report.responses.size(); ++i) {
+    EXPECT_EQ(report.responses[i].completion_cycle,
+              report.responses[0].completion_cycle);
+  }
+  const Json* coalesced =
+      report.metrics.find("batches")->find("coalesced_nodes");
+  ASSERT_NE(coalesced, nullptr);
+  EXPECT_EQ(coalesced->as_uint(), 7u * dict.tree().levels());
+}
+
+TEST(Server, ReplicasTakeBatchesRoundRobin) {
+  const CompleteBinaryTree tree(8);
+  const ModuloMapping map(tree, 5);
+  ServerOptions opts;
+  opts.tick_cycles = 1;
+  opts.replicas = 2;
+  opts.batch.max_batch_nodes = 2;
+  opts.batch.max_wait_cycles = 0;
+  Server server(map, opts);
+
+  for (std::uint64_t seq = 0; seq < 6; ++seq) {
+    Request r;
+    r.client = 0;
+    r.seq = seq;
+    r.submit_cycle = seq;
+    r.nodes = {v(seq, 4), v(seq + 1, 4)};
+    server.submit(std::move(r));
+  }
+  const ServeReport report = server.run();
+  ASSERT_EQ(report.batches.size(), 6u);
+  ASSERT_EQ(report.replicas.size(), 2u);
+  // Batch b ran on replica b % 2: each replica saw 3 accesses.
+  EXPECT_EQ(report.replicas[0].accesses, 3u);
+  EXPECT_EQ(report.replicas[1].accesses, 3u);
+  EXPECT_EQ(report.replicas[0].requests + report.replicas[1].requests, 12u);
+}
+
+TEST(Server, ReportJsonIsCompleteAndParseable) {
+  const CompleteBinaryTree tree(6);
+  const ModuloMapping map(tree, 4);
+  ServerOptions opts;
+  opts.batch.max_wait_cycles = 2;
+  Server server(map, opts);
+  for (std::uint64_t seq = 0; seq < 5; ++seq) {
+    Request r;
+    r.client = static_cast<std::uint32_t>(seq % 2);
+    r.seq = seq / 2;
+    r.submit_cycle = seq;
+    r.nodes = {v(seq, 3)};
+    server.submit(std::move(r));
+  }
+  const ServeReport report = server.run();
+  const auto parsed = Json::parse(report.to_json().dump(2));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("requests")->as_uint(), 5u);
+  EXPECT_EQ(parsed->find("ok")->as_uint(), 5u);
+  EXPECT_EQ(parsed->find("responses")->items().size(), 5u);
+  const Json* latency = parsed->find("metrics")->find("latency");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->find("count")->as_uint(), 5u);
+  for (const char* q : {"p50", "p95", "p99", "p999"}) {
+    ASSERT_NE(latency->find(q), nullptr) << q;
+  }
+  // SLO percentiles are monotone.
+  EXPECT_LE(latency->find("p50")->as_number(),
+            latency->find("p99")->as_number());
+  EXPECT_LE(latency->find("p99")->as_number(),
+            latency->find("p999")->as_number());
+}
+
+TEST(Server, IdenticalSubmissionsReproduceIdenticalReports) {
+  const CompleteBinaryTree tree(8);
+  const ColorMapping map = make_optimal_color_mapping(tree, 9);
+  const auto run_once = [&] {
+    ServerOptions opts;
+    opts.tick_cycles = 3;
+    opts.replicas = 2;
+    opts.admission.queue_bound = 4;
+    opts.batch.max_batch_nodes = 8;
+    opts.batch.max_wait_cycles = 5;
+    Server server(map, opts);
+    for (std::uint64_t seq = 0; seq < 30; ++seq) {
+      Request r;
+      r.client = static_cast<std::uint32_t>(seq % 3);
+      r.seq = seq / 3;
+      r.submit_cycle = seq / 2;
+      r.deadline_cycles = seq % 5 == 0 ? 4 : 0;
+      r.nodes = {v(seq % 32, 5), v((seq * 7) % 16, 4)};
+      server.submit(std::move(r));
+    }
+    return server.run();
+  };
+  const ServeReport a = run_once();
+  const ServeReport b = run_once();
+  EXPECT_EQ(a.to_json().dump(), b.to_json().dump());
+}
+
+}  // namespace
+}  // namespace pmtree::serve
