@@ -38,6 +38,7 @@
 #include "pmtree/engine/arrival.hpp"
 #include "pmtree/engine/histogram.hpp"
 #include "pmtree/engine/metrics.hpp"
+#include "pmtree/fault/plan.hpp"
 #include "pmtree/mapping/mapping.hpp"
 #include "pmtree/pms/workload.hpp"
 
@@ -60,6 +61,12 @@ struct EngineResult {
   std::uint64_t requests = 0;
   std::uint64_t completion_cycle = 0;  ///< when the last access finished
   std::uint64_t busy_cycles = 0;       ///< cycles with >= 1 request in flight
+  /// Requests enqueued on (or drained to) a reroute target because their
+  /// own module was fail-stopped. Zero without a FaultPlan.
+  std::uint64_t rerouted_requests = 0;
+  /// Module-cycles where a backlogged module was kept from serving by a
+  /// transient slowdown. Zero without a FaultPlan.
+  std::uint64_t stalled_cycles = 0;
   std::vector<AccessRecord> records;   ///< one entry per access, in order
   std::vector<std::uint64_t> served;   ///< per-module requests served
   std::vector<std::uint64_t> queue_high_water;  ///< per-module depth peak
@@ -106,6 +113,11 @@ struct EngineOptions {
   /// kStrided only: sample busy-cycle ordinals ≡ 0 (mod sample_stride).
   /// Clamped to >= 1.
   std::uint64_t sample_stride = 64;
+  /// Optional fault schedule (not owned; must outlive the run). nullptr or
+  /// an empty plan take the healthy fast path bit for bit; a non-empty
+  /// plan switches to the per-cycle degraded loop (fail-stopped modules
+  /// drain onto reroute targets, slowed modules stall — fault/plan.hpp).
+  const fault::FaultPlan* faults = nullptr;
 };
 
 class CycleEngine {

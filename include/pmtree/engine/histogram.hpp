@@ -30,6 +30,8 @@ class Histogram {
 
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
   [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  /// Running sum of samples, saturating at max-uint64 instead of wrapping
+  /// (mean() turns pessimistic rather than nonsensical on overflow).
   [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
   /// Exact (not bucketed) extremes; min is max-uint64 when empty, max is 0.
   [[nodiscard]] std::uint64_t min() const noexcept;
@@ -40,7 +42,8 @@ class Histogram {
   /// Value v with P(sample <= v) >= q: the upper edge of the bucket holding
   /// the ceil(q * count)-th smallest sample. Guaranteed to be >= the true
   /// sample quantile and <= true * (1 + 2^-sub_bits). q is clamped to
-  /// [0, 1]; returns 0 on an empty histogram.
+  /// [0, 1]; q = 0 and q = 1 report the exact tracked min/max rather than
+  /// a bucket edge. Returns 0 on an empty histogram.
   [[nodiscard]] std::uint64_t value_at_quantile(double q) const;
 
   /// Convenience percentiles.

@@ -31,6 +31,14 @@ class ReferenceEngine {
   [[nodiscard]] EngineResult run(const Workload& workload,
                                  const ArrivalSchedule& schedule) const;
 
+  /// The same scalar loop under a fault schedule (fault/plan.hpp): the
+  /// oracle the event core's degraded path is differentially tested
+  /// against. The fault-free run() above stays byte-for-byte the seed;
+  /// this overload lives beside it rather than inside it.
+  [[nodiscard]] EngineResult run(const Workload& workload,
+                                 const ArrivalSchedule& schedule,
+                                 const fault::FaultPlan& plan) const;
+
  private:
   const TreeMapping& mapping_;
 };

@@ -1,0 +1,199 @@
+// Fault injection: deterministic failure schedules for parallel memory
+// systems.
+//
+// The paper's machine model — and every layer built on it so far —
+// assumes all M modules are permanently healthy. Production parallel
+// memory systems are not: modules fail outright (a dead DRAM rank, an
+// evicted cache shard) and degrade transiently (thermal throttling, a
+// background scrub stealing service slots). The memory-bounded
+// tree-scheduling literature cited in serve/admission.hpp treats degraded
+// resource availability as first-class; this layer does the same for the
+// pmtree engines.
+//
+// A FaultPlan is a *schedule*, not a random process: a list of fail-stop
+// events (module m is dead from cycle c onward) and transient slowdowns
+// (module m serves one request every `period` cycles during [begin, end)),
+// optionally generated from a seed by FaultPlan::random. Determinism is
+// the point — the same plan produces bit-identical trajectories on the
+// event-driven core, the frozen reference loop, any sharded worker count,
+// and any serve worker count, so degraded behaviour is testable and
+// benchmarkable exactly like healthy behaviour (DESIGN.md §12).
+//
+// Semantics under a plan (implemented identically by CycleEngine and
+// ReferenceEngine):
+//
+//   * fail-stop  — at the first busy cycle t >= cycle, the module's queue
+//     is drained FIFO onto its reroute target, and every later request
+//     colored to it is enqueued on the target instead. Reroute targets
+//     are assigned round-robin: the j-th dead module (ascending id) maps
+//     to the j-th live module mod |live| — the same rule DegradedMapping
+//     applies to colors, so the engine's degraded routing and the
+//     analysis layer's degraded mapping agree.
+//   * slowdown   — while t is in [begin, end), the module serves only on
+//     cycles with (t - begin) % period == 0; its queue otherwise stalls
+//     in place (counted in EngineResult::stalled_cycles).
+//
+// Fail-stops reroute (never deadlock); slowdowns stall (bounded by the
+// period). Every access therefore still completes, just later — degraded,
+// not dead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pmtree/util/json.hpp"
+
+namespace pmtree::fault {
+
+/// Module `module` is dead — serves nothing, queue rerouted — for every
+/// cycle t >= cycle.
+struct FailStop {
+  std::uint32_t module = 0;
+  std::uint64_t cycle = 0;
+};
+
+/// Module `module` serves only on cycles t in [begin, end) with
+/// (t - begin) % period == 0 (and serves normally outside the interval).
+/// period is clamped to >= 1 at compile time (period 1 is a no-op).
+struct Slowdown {
+  std::uint32_t module = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::uint64_t period = 1;
+};
+
+class FaultPlan {
+ public:
+  /// The empty plan: no faults. Engines treat it exactly as "no plan" —
+  /// the differential suite pins bit-identity to the fault-free run.
+  FaultPlan() = default;
+
+  FaultPlan& fail_stop(std::uint32_t module, std::uint64_t cycle) {
+    fail_stops_.push_back(FailStop{module, cycle});
+    return *this;
+  }
+  FaultPlan& slow_down(std::uint32_t module, std::uint64_t begin,
+                       std::uint64_t end, std::uint64_t period) {
+    slowdowns_.push_back(Slowdown{module, begin, end, period});
+    return *this;
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return fail_stops_.empty() && slowdowns_.empty();
+  }
+  [[nodiscard]] const std::vector<FailStop>& fail_stops() const noexcept {
+    return fail_stops_;
+  }
+  [[nodiscard]] const std::vector<Slowdown>& slowdowns() const noexcept {
+    return slowdowns_;
+  }
+
+  /// Knobs for the seeded generator. Every drawn value is a pure function
+  /// of (seed, the other fields), so a RandomOptions value *is* a
+  /// reproducible fault scenario.
+  struct RandomOptions {
+    std::uint64_t seed = 0;
+    std::uint32_t modules = 0;      ///< module universe the plan draws from
+    /// Fraction of modules fail-stopped, rounded down and capped at
+    /// modules - 1 (at least one survivor always remains).
+    double fail_fraction = 0.1;
+    /// Fail cycles are drawn uniformly from [0, fail_window).
+    std::uint64_t fail_window = 1024;
+    std::uint32_t slowdown_count = 0;   ///< transient slowdowns to draw
+    std::uint64_t slowdown_window = 1024;  ///< begins drawn from [0, window)
+    std::uint64_t slowdown_max_length = 256;
+    std::uint64_t slowdown_max_period = 4;  ///< periods drawn from [2, max]
+  };
+
+  /// Deterministic seeded plan: `fail_fraction` of the modules fail-stop
+  /// at random cycles and `slowdown_count` transient slowdowns land on
+  /// random modules. Identical options produce identical plans on every
+  /// platform (util/rng.hpp streams).
+  [[nodiscard]] static FaultPlan random(const RandomOptions& options);
+
+  /// Machine-readable form for bench reports.
+  [[nodiscard]] Json to_json() const;
+
+ private:
+  std::vector<FailStop> fail_stops_;
+  std::vector<Slowdown> slowdowns_;
+};
+
+/// A FaultPlan compiled against a concrete module count: O(1) per-module
+/// queries plus the reroute table, shared by both engine implementations
+/// (and mirrored by DegradedMapping on the analysis side). Entries naming
+/// modules >= `modules` are ignored. If the plan would fail-stop every
+/// module, the one with the latest fail cycle (ties: highest id) is
+/// spared so that reroute targets always exist — degraded service beats
+/// a deadlocked simulation.
+class FaultTimeline {
+ public:
+  static constexpr std::uint64_t kNever = ~std::uint64_t{0};
+
+  FaultTimeline(const FaultPlan& plan, std::uint32_t modules);
+
+  /// First cycle module m is dead, or kNever.
+  [[nodiscard]] std::uint64_t fail_cycle(std::uint32_t m) const noexcept {
+    return fail_cycle_[m];
+  }
+  [[nodiscard]] bool dead_at(std::uint32_t m, std::uint64_t t) const noexcept {
+    return t >= fail_cycle_[m];
+  }
+  /// Whether module m retires a request at (the service step of) cycle t:
+  /// alive, and no slowdown interval is skipping this cycle.
+  [[nodiscard]] bool serves_at(std::uint32_t m, std::uint64_t t) const {
+    if (t >= fail_cycle_[m]) return false;
+    for (const Slowdown& s : slow_by_module_[m]) {
+      if (t >= s.begin && t < s.end && (t - s.begin) % s.period != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Reroute target of color c: c itself while alive; the round-robin
+  /// survivor for ever-failing modules (j-th dead ascending -> j-th live
+  /// mod |live|). A pure function of the dead set.
+  [[nodiscard]] std::uint32_t redirect(std::uint32_t c) const noexcept {
+    return redirect_[c];
+  }
+
+  /// Modules with a fail-stop in the plan, ascending. (Timeline-wide:
+  /// these are dead *eventually*, not necessarily at cycle 0.)
+  [[nodiscard]] const std::vector<std::uint32_t>& dead_modules()
+      const noexcept {
+    return dead_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& live_modules()
+      const noexcept {
+    return live_;
+  }
+
+  /// Fail-stop events sorted by (cycle, module) — the order engines drain
+  /// failed queues in.
+  struct FailEvent {
+    std::uint64_t cycle = 0;
+    std::uint32_t module = 0;
+  };
+  [[nodiscard]] const std::vector<FailEvent>& fail_events() const noexcept {
+    return fail_events_;
+  }
+
+  [[nodiscard]] bool any_faults() const noexcept {
+    return !fail_events_.empty() || has_slowdowns_;
+  }
+  [[nodiscard]] std::uint32_t modules() const noexcept {
+    return static_cast<std::uint32_t>(fail_cycle_.size());
+  }
+
+ private:
+  std::vector<std::uint64_t> fail_cycle_;           // per module; kNever = alive
+  std::vector<std::uint32_t> redirect_;             // per color
+  std::vector<std::uint32_t> dead_;                 // ascending module ids
+  std::vector<std::uint32_t> live_;                 // ascending module ids
+  std::vector<FailEvent> fail_events_;              // (cycle, module) order
+  std::vector<std::vector<Slowdown>> slow_by_module_;
+  bool has_slowdowns_ = false;
+};
+
+}  // namespace pmtree::fault

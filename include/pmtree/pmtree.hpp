@@ -26,6 +26,7 @@
 #include "pmtree/engine/metrics.hpp"
 #include "pmtree/engine/reference.hpp"
 #include "pmtree/engine/sharded.hpp"
+#include "pmtree/fault/plan.hpp"
 #include "pmtree/mapping/baselines.hpp"
 #include "pmtree/mapping/color.hpp"
 #include "pmtree/mapping/combinators.hpp"

@@ -19,6 +19,7 @@
 // in. Determinism follows from that fixed order (DESIGN.md §11).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <deque>
 #include <vector>
@@ -109,8 +110,11 @@ class AdmissionController {
     return pending_;
   }
   /// Bookkeeping callback: `nodes` payload nodes just left the pending
-  /// queue inside a batch.
+  /// queue inside a batch. A claim larger than the tracked count would
+  /// wrap the counter and wedge batching at "forever full" — that is a
+  /// caller bug, caught here rather than downstream.
   void on_batched(std::uint64_t nodes) noexcept {
+    assert(nodes <= pending_node_count_);
     pending_node_count_ -= nodes;
   }
 
@@ -133,7 +137,12 @@ class AdmissionController {
   [[nodiscard]] static bool expired_at(std::uint64_t submit,
                                        std::uint64_t deadline,
                                        std::uint64_t now) noexcept {
-    return deadline != 0 && now >= submit + deadline;
+    // Compare as elapsed-vs-budget, not now-vs-(submit + deadline): the
+    // sum form wraps for near-max deadlines ("effectively no deadline")
+    // and would expire such requests instantly. The controller never sees
+    // now < submit (intake requires submit_cycle <= tick), so the
+    // subtraction cannot wrap; the guard keeps the function total anyway.
+    return deadline != 0 && now >= submit && now - submit >= deadline;
   }
 
  private:

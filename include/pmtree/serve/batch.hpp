@@ -36,10 +36,12 @@ struct BatchPolicy {
   /// requests are never starved or split. 0 behaves as 1.
   std::uint64_t max_batch_nodes = 64;
   /// Cut a batch once the oldest pending request has waited this many
-  /// cycles since submission, full or not. 0 means every tick flushes —
-  /// no batching delay. This bound is what guarantees the server drains:
-  /// every admitted request dispatches within max_wait_cycles of its
-  /// submission (plus tick rounding).
+  /// cycles since *admission* (for blocked-then-promoted callers, the
+  /// promotion tick — blocked time doesn't count against the batching
+  /// window), full or not. 0 means every tick flushes — no batching
+  /// delay. This bound is what guarantees the server drains: every
+  /// admitted request dispatches within max_wait_cycles of entering the
+  /// pending queue (plus tick rounding).
   std::uint64_t max_wait_cycles = 16;
 };
 

@@ -47,7 +47,17 @@ class ServeMetrics {
   void on_expired(std::uint64_t count) { expired_->add(count); }
   void on_tick(std::size_t pending, std::size_t blocked_depth);
   void on_batch(const FormedBatch& batch);
+  /// Retry attempts issued this round (RetryPolicy timeouts).
+  void on_retried(std::uint64_t count) { retries_->add(count); }
+  /// Fault counters folded out of the replica engine runs: requests
+  /// rerouted off fail-stopped modules, module-cycles lost to slowdowns.
+  void on_replica_faults(std::uint64_t rerouted, std::uint64_t stalled) {
+    rerouted_requests_->add(rerouted);
+    stalled_cycles_->add(stalled);
+  }
   /// Terminal kOk observation: completes the latency / queue-wait view.
+  /// Responses that needed retries also land in the fault-attributed
+  /// latency histogram — the tail the fault injection bought.
   void on_completed(const Response& response);
 
   /// SLO snapshot:
@@ -56,7 +66,9 @@ class ServeMetrics {
   ///    "batches": {"count","mean_requests","mean_nodes","max_nodes",
   ///                "coalesced_nodes"},
   ///    "counters": {submitted, admitted, ...},
-  ///    "queues": {"pending_high_water","blocked_high_water"}}
+  ///    "queues": {"pending_high_water","blocked_high_water"},
+  ///    "faults": {"retries","rerouted_requests","stalled_cycles",
+  ///               "retried_latency": {...histogram...}}}
   [[nodiscard]] Json summary() const;
 
   [[nodiscard]] const std::string& prefix() const noexcept { return prefix_; }
@@ -76,12 +88,16 @@ class ServeMetrics {
   engine::Counter* batched_nodes_;
   engine::Counter* coalesced_nodes_;
   engine::Counter* ticks_;
+  engine::Counter* retries_;
+  engine::Counter* rerouted_requests_;
+  engine::Counter* stalled_cycles_;
   engine::Gauge* queue_depth_;
   engine::Gauge* blocked_depth_;
   engine::Histogram* latency_;
   engine::Histogram* queue_wait_;
   engine::Histogram* batch_nodes_;
   engine::Histogram* batch_requests_;
+  engine::Histogram* retried_latency_;
 };
 
 }  // namespace pmtree::serve

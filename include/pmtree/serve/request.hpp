@@ -57,6 +57,10 @@ struct Response {
   std::uint64_t dispatch_cycle = 0;    ///< tick its batch was formed (kOk)
   std::uint64_t completion_cycle = 0;  ///< served / shed / expired cycle
   std::uint64_t batch = 0;             ///< global batch id (valid iff kOk)
+  /// Attempts beyond the first (RetryPolicy). The admitted/dispatch/batch
+  /// stamps above describe the final attempt; earlier attempts' outcomes
+  /// were discarded by the retry.
+  std::uint32_t retries = 0;
 
   /// End-to-end simulated latency: resolution minus submission. For kOk
   /// this is queueing + batching wait + memory service; for kShed and

@@ -37,6 +37,17 @@
 // bit-identical responses, batches and metrics (tested request-for-request
 // at 1/2/8 workers).
 //
+// With a RetryPolicy the pipeline above becomes one *round* of several:
+// after assembly, completions that overstayed the attempt timeout are
+// discarded and re-enter intake at the cycle the caller would resend
+// (timeout + capped exponential backoff), and the tick loop / replica
+// execution repeat until a round produces no retries. Faults injected via
+// EngineOptions::faults (fault/plan.hpp) are what make retries fire in
+// practice: fail-stopped modules reroute, slowed modules stall, residency
+// inflates past the timeout, and the retry lands on a later batch —
+// usually after DegradedMapping-equivalent routing has settled. All of it
+// stays on the control plane's clock, so determinism is unchanged.
+//
 // Graceful shutdown is the run() contract itself: every request submitted
 // before run() reaches a terminal status (kOk, kShed or kExpired) —
 // nothing is silently dropped — and BatchPolicy::max_wait_cycles bounds
@@ -61,6 +72,44 @@
 
 namespace pmtree::serve {
 
+/// Per-request retry with capped exponential backoff, judged on the
+/// engine's simulated clock. After each serving round the server inspects
+/// every freshly completed request: if its memory-system residency
+/// (completion - dispatch) exceeded `attempt_timeout_cycles` and it has
+/// attempts left, the completion is discarded and the request re-enters
+/// intake at dispatch + timeout + backoff(attempt) — the cycle the caller
+/// would have given up and resent. Backoff doubles from `backoff_base_
+/// cycles` per retry, capped at `backoff_cap_cycles`. The original
+/// submit_cycle and deadline ride along unchanged, so the existing
+/// deadline machinery is the retry budget: a retry that lands past the
+/// deadline is dead on arrival (kExpired), never served twice.
+///
+/// Retries run in the single-threaded control plane between replica
+/// rounds; responses stay bit-identical at any worker count.
+struct RetryPolicy {
+  /// Extra attempts per request. 0 disables retries entirely (the server
+  /// then behaves exactly as the single-round pipeline).
+  std::uint32_t max_retries = 0;
+  /// A completed attempt whose completion - dispatch exceeds this budget
+  /// is treated as timed out and retried. 0 disables.
+  std::uint64_t attempt_timeout_cycles = 0;
+  std::uint64_t backoff_base_cycles = 8;
+  std::uint64_t backoff_cap_cycles = 256;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return max_retries > 0 && attempt_timeout_cycles > 0;
+  }
+  /// Backoff before retry number `attempt` (1-based): base doubled
+  /// attempt-1 times, saturating at the cap.
+  [[nodiscard]] std::uint64_t backoff(std::uint32_t attempt) const noexcept {
+    std::uint64_t b = backoff_base_cycles;
+    for (std::uint32_t i = 1; i < attempt && b < backoff_cap_cycles; ++i) {
+      b *= 2;
+    }
+    return b < backoff_cap_cycles ? b : backoff_cap_cycles;
+  }
+};
+
 struct ServerOptions {
   /// Admission tick period in engine cycles (0 behaves as 1). Requests are
   /// only admitted / batched on tick boundaries — the batching latency any
@@ -75,6 +124,11 @@ struct ServerOptions {
   unsigned workers = 1;
   AdmissionOptions admission;
   BatchPolicy batch;
+  RetryPolicy retry;
+  /// Replica engine knobs. `engine.faults` (fault/plan.hpp) injects the
+  /// same fault schedule into every replica; the serve layer folds the
+  /// resulting reroute/stall counters into its metrics and, with a
+  /// RetryPolicy, turns fault-inflated residencies into retries.
   engine::EngineOptions engine;
 };
 
@@ -84,6 +138,7 @@ struct ServeReport {
   std::vector<FormedBatch> batches;     ///< dispatch (batch id) order
   std::vector<engine::EngineResult> replicas;  ///< per-replica trajectory
   std::uint64_t ticks = 0;              ///< admission ticks executed
+  std::uint64_t rounds = 0;             ///< serving rounds (1 + retry waves)
   std::uint64_t final_cycle = 0;        ///< last completion / resolution
   Json metrics;                         ///< ServeMetrics::summary()
 

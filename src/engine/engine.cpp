@@ -37,6 +37,8 @@ Json EngineResult::to_json() const {
   root.set("requests", Json(requests));
   root.set("completion_cycle", Json(completion_cycle));
   root.set("busy_cycles", Json(busy_cycles));
+  root.set("rerouted_requests", Json(rerouted_requests));
+  root.set("stalled_cycles", Json(stalled_cycles));
   root.set("throughput", Json(throughput()));
   root.set("max_queue_depth", Json(max_queue_depth()));
 
@@ -58,9 +60,239 @@ Json EngineResult::to_json() const {
   return root;
 }
 
+namespace {
+
+void export_metrics(MetricsRegistry& metrics, const std::string& prefix,
+                    const EngineResult& result) {
+  metrics.counter(prefix + ".accesses").add(result.accesses);
+  metrics.counter(prefix + ".requests").add(result.requests);
+  metrics.counter(prefix + ".cycles").add(result.completion_cycle);
+  metrics.counter(prefix + ".busy_cycles").add(result.busy_cycles);
+  metrics.gauge(prefix + ".queue_high_water")
+      .set(static_cast<std::int64_t>(result.max_queue_depth()));
+  metrics.histogram(prefix + ".latency").merge(result.latency);
+  metrics.histogram(prefix + ".queue_depth").merge(result.queue_depth);
+}
+
+// The degraded loop: per-cycle stepping (no bulk spans — failure and
+// slowdown boundaries can land on any cycle) over the same flat arena,
+// with three extra rules from fault/plan.hpp, applied in this per-cycle
+// order so both engines agree bit for bit:
+//
+//   1. failure processing — every module whose fail cycle has arrived
+//      drains its FIFO, in (cycle, module) order, onto its reroute target;
+//   2. admission — requests colored to an already-dead module enqueue on
+//      the target instead;
+//   3. depth observation, then service — a module retires its head request
+//      only when timeline.serves_at(m, t) says so; a backlogged module
+//      skipped by a slowdown counts one stalled module-cycle.
+//
+// Reroute targets never fail (FaultTimeline draws them from the modules
+// with no fail-stop), so a request moves at most once and the arena
+// segment for module m is safely capped at its own routed load plus the
+// full load of every module that reroutes onto it.
+EngineResult run_faulted(const TreeMapping& mapping, const Workload& workload,
+                         const ArrivalSchedule& schedule,
+                         const EngineOptions& options) {
+  const std::uint32_t modules = mapping.num_modules();
+  const fault::FaultTimeline timeline(*options.faults, modules);
+  const std::size_t n = workload.size();
+  assert(n < std::numeric_limits<std::uint32_t>::max());
+
+  EngineResult result;
+  result.accesses = n;
+  result.served.assign(modules, 0);
+  result.queue_high_water.assign(modules, 0);
+  result.records.resize(n);
+
+  std::vector<Node> flat;
+  std::vector<std::size_t> first(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Workload::Access& access = workload[i];
+    flat.insert(flat.end(), access.begin(), access.end());
+    first[i + 1] = flat.size();
+  }
+  std::vector<Color> colors(flat.size());
+  mapping.color_of_batch(flat, colors);
+
+  std::vector<std::size_t> cap(modules, 0);
+  for (const Color c : colors) cap[c] += 1;
+  // A target absorbs at most the full routed load of every module folding
+  // onto it; a dead module keeps its own segment (requests sit there until
+  // the drain) and, never being a target itself, its cap is still the pure
+  // routed count when read here.
+  for (const std::uint32_t d : timeline.dead_modules()) {
+    cap[timeline.redirect(d)] += cap[d];
+  }
+  std::vector<std::size_t> qbase(modules + 1, 0);
+  for (std::uint32_t m = 0; m < modules; ++m) qbase[m + 1] = qbase[m] + cap[m];
+  std::vector<std::uint32_t> arena(qbase[modules]);
+  std::vector<std::size_t> head(qbase.begin(), qbase.end() - 1);
+  std::vector<std::size_t> tail = head;
+
+  std::vector<std::uint32_t> active;
+  active.reserve(modules);
+  std::vector<std::uint32_t> outstanding(n, 0);
+
+  const EngineOptions::DepthSampling sampling = options.sampling;
+  const std::uint64_t stride =
+      std::max<std::uint64_t>(options.sample_stride, 1);
+  const bool per_cycle =
+      sampling == EngineOptions::DepthSampling::kEveryBusyCycle;
+  std::uint64_t zero_samples = 0;
+
+  std::uint64_t t = 0;
+  std::size_t next = 0;
+  std::size_t done = 0;
+  std::size_t in_flight = 0;
+
+  const auto complete = [&](const AccessRecord& rec) {
+    result.latency.record(rec.latency());
+    result.completion_cycle = std::max(result.completion_cycle, rec.completion);
+    done += 1;
+  };
+
+  const auto push = [&](std::uint32_t m, std::uint32_t id) {
+    if (tail[m] == head[m]) active.push_back(m);
+    arena[tail[m]] = id;
+    tail[m] += 1;
+    const std::uint64_t depth = tail[m] - head[m];
+    result.queue_high_water[m] = std::max(result.queue_high_water[m], depth);
+  };
+
+  const auto admit = [&](std::size_t i, std::uint64_t cycle) {
+    const Workload::Access& access = workload[i];
+    AccessRecord& rec = result.records[i];
+    rec.id = i;
+    rec.requests = access.size();
+    rec.arrival = cycle;
+    result.requests += access.size();
+    outstanding[i] = static_cast<std::uint32_t>(access.size());
+    if (access.empty()) {
+      rec.completion = cycle;
+      complete(rec);
+      return;
+    }
+    in_flight += 1;
+    for (std::size_t r = first[i]; r < first[i + 1]; ++r) {
+      Color m = colors[r];
+      if (timeline.dead_at(m, cycle)) {
+        m = timeline.redirect(m);
+        result.rerouted_requests += 1;
+      }
+      push(m, static_cast<std::uint32_t>(i));
+    }
+  };
+
+  const std::vector<fault::FaultTimeline::FailEvent>& events =
+      timeline.fail_events();
+  std::size_t next_fail = 0;
+
+  while (done < n) {
+    // 1. Failure processing: drain newly-dead modules onto their targets.
+    while (next_fail < events.size() && events[next_fail].cycle <= t) {
+      const std::uint32_t d = events[next_fail].module;
+      next_fail += 1;
+      if (tail[d] == head[d]) continue;
+      const std::uint32_t r = timeline.redirect(d);
+      for (std::size_t h = head[d]; h < tail[d]; ++h) {
+        push(r, arena[h]);
+        result.rerouted_requests += 1;
+      }
+      head[d] = tail[d];
+      for (std::size_t a = 0; a < active.size(); ++a) {
+        if (active[a] == d) {
+          active[a] = active.back();
+          active.pop_back();
+          break;
+        }
+      }
+    }
+
+    // 2. Admission, exactly as the healthy loop (redirect inside admit).
+    if (schedule.closed_loop()) {
+      while (next < n && done == next) {
+        admit(next, t);
+        next += 1;
+      }
+      if (in_flight == 0) {
+        if (per_cycle ||
+            (sampling == EngineOptions::DepthSampling::kStrided &&
+             result.busy_cycles % stride == 0)) {
+          zero_samples += modules;
+        }
+        result.busy_cycles += 1;
+        break;
+      }
+    } else {
+      while (next < n && schedule.arrival_cycle(next) <= t) {
+        admit(next, t);
+        next += 1;
+      }
+      if (in_flight == 0) {
+        if (done == n) break;
+        t = std::max(t, schedule.arrival_cycle(next));
+        continue;
+      }
+    }
+
+    // 3a. Depth observation (per-cycle stepping: a strided sample is due
+    // exactly when the current busy ordinal hits the stride).
+    if (per_cycle || (sampling == EngineOptions::DepthSampling::kStrided &&
+                      result.busy_cycles % stride == 0)) {
+      for (const std::uint32_t m : active) {
+        result.queue_depth.record(tail[m] - head[m]);
+      }
+      zero_samples += modules - active.size();
+    }
+
+    // 3b. Service, gated per module by the fault timeline.
+    for (std::size_t a = 0; a < active.size();) {
+      const std::uint32_t m = active[a];
+      if (!timeline.serves_at(m, t)) {
+        result.stalled_cycles += 1;
+        a += 1;
+        continue;
+      }
+      const std::uint32_t id = arena[head[m]];
+      head[m] += 1;
+      AccessRecord& rec = result.records[id];
+      rec.completion = std::max(rec.completion, t + 1);
+      if (--outstanding[id] == 0) {
+        complete(rec);
+        in_flight -= 1;
+      }
+      result.served[m] += 1;
+      if (head[m] == tail[m]) {
+        active[a] = active.back();
+        active.pop_back();
+      } else {
+        a += 1;
+      }
+    }
+    result.busy_cycles += 1;
+    t += 1;
+  }
+
+  if (zero_samples != 0) result.queue_depth.record(0, zero_samples);
+  return result;
+}
+
+}  // namespace
+
 EngineResult CycleEngine::run(const Workload& workload,
                               const ArrivalSchedule& schedule,
                               const EngineOptions& options) const {
+  if (options.faults != nullptr && !options.faults->empty()) {
+    EngineResult result = run_faulted(mapping_, workload, schedule, options);
+    if (metrics_ != nullptr) {
+      export_metrics(*metrics_, prefix_, result);
+      metrics_->counter(prefix_ + ".rerouted_requests")
+          .add(result.rerouted_requests);
+      metrics_->counter(prefix_ + ".stalled_cycles").add(result.stalled_cycles);
+    }
+    return result;
+  }
   const std::uint32_t modules = mapping_.num_modules();
   const std::size_t n = workload.size();
   // Arena entries are 32-bit access ids; a workload that large could not
@@ -263,16 +495,7 @@ EngineResult CycleEngine::run(const Workload& workload,
 
   if (zero_samples != 0) result.queue_depth.record(0, zero_samples);
 
-  if (metrics_ != nullptr) {
-    metrics_->counter(prefix_ + ".accesses").add(result.accesses);
-    metrics_->counter(prefix_ + ".requests").add(result.requests);
-    metrics_->counter(prefix_ + ".cycles").add(result.completion_cycle);
-    metrics_->counter(prefix_ + ".busy_cycles").add(result.busy_cycles);
-    metrics_->gauge(prefix_ + ".queue_high_water")
-        .set(static_cast<std::int64_t>(result.max_queue_depth()));
-    metrics_->histogram(prefix_ + ".latency").merge(result.latency);
-    metrics_->histogram(prefix_ + ".queue_depth").merge(result.queue_depth);
-  }
+  if (metrics_ != nullptr) export_metrics(*metrics_, prefix_, result);
   return result;
 }
 

@@ -51,11 +51,37 @@ std::uint64_t Histogram::bucket_upper(std::size_t index) const noexcept {
   return (std::uint64_t{1} << octave) + (sub + 1) * width - 1;
 }
 
+namespace {
+
+/// a + b, pinned to max-uint64 on overflow. The running sum only feeds
+/// mean(); a saturated mean is merely pessimistic, whereas a wrapped one
+/// (large values × bulk counts, e.g. the engine's zero-sample path
+/// recording millions at once next to near-max latencies) is nonsense.
+[[nodiscard]] std::uint64_t saturating_add(std::uint64_t a,
+                                           std::uint64_t b) noexcept {
+  std::uint64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out)) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return out;
+}
+
+[[nodiscard]] std::uint64_t saturating_mul(std::uint64_t a,
+                                           std::uint64_t b) noexcept {
+  std::uint64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return out;
+}
+
+}  // namespace
+
 void Histogram::record(std::uint64_t value, std::uint64_t count) {
   if (count == 0) return;
   counts_[bucket_index(value)] += count;
   count_ += count;
-  sum_ += value * count;
+  sum_ = saturating_add(sum_, saturating_mul(value, count));
   min_ = std::min(min_, value);
   max_ = std::max(max_, value);
 }
@@ -64,7 +90,7 @@ void Histogram::merge(const Histogram& other) {
   assert(sub_bits_ == other.sub_bits_);
   for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
   count_ += other.count_;
-  sum_ += other.sum_;
+  sum_ = saturating_add(sum_, other.sum_);
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
 }
@@ -79,6 +105,11 @@ double Histogram::mean() const noexcept {
 std::uint64_t Histogram::value_at_quantile(double q) const {
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
+  // The extremes are tracked exactly, so report them exactly: q = 0 is
+  // the smallest sample and q = 1 the largest, not the (possibly wider)
+  // upper edge of the bucket that happens to hold them.
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
   const auto rank = static_cast<std::uint64_t>(
       std::ceil(q * static_cast<double>(count_)));
   const std::uint64_t target = std::max<std::uint64_t>(rank, 1);

@@ -55,6 +55,8 @@ ShardedResult ShardedEngineRunner::run(const Workload& workload,
     merged.accesses += shard.accesses;
     merged.requests += shard.requests;
     merged.busy_cycles += shard.busy_cycles;
+    merged.rerouted_requests += shard.rerouted_requests;
+    merged.stalled_cycles += shard.stalled_cycles;
     merged.completion_cycle =
         std::max(merged.completion_cycle, shard.completion_cycle);
     for (std::uint32_t m = 0; m < modules; ++m) {
@@ -77,6 +79,12 @@ ShardedResult ShardedEngineRunner::run(const Workload& workload,
     metrics_->counter(prefix_ + ".requests").add(merged.requests);
     metrics_->counter(prefix_ + ".cycles").add(merged.completion_cycle);
     metrics_->counter(prefix_ + ".busy_cycles").add(merged.busy_cycles);
+    if (options.engine.faults != nullptr && !options.engine.faults->empty()) {
+      metrics_->counter(prefix_ + ".rerouted_requests")
+          .add(merged.rerouted_requests);
+      metrics_->counter(prefix_ + ".stalled_cycles")
+          .add(merged.stalled_cycles);
+    }
     metrics_->gauge(prefix_ + ".queue_high_water")
         .set(static_cast<std::int64_t>(merged.max_queue_depth()));
     metrics_->histogram(prefix_ + ".latency").merge(merged.latency);

@@ -33,7 +33,12 @@ std::vector<FormedBatch> BatchFormer::form(std::uint64_t now,
   const auto cut_due = [&]() {
     if (pending.empty()) return false;
     if (controller.pending_node_count() >= policy_.max_batch_nodes) return true;
-    return now - pending.front().submit_cycle >= policy_.max_wait_cycles;
+    // Wait is measured from admission, not submission: a caller promoted
+    // out of the blocked queue only became batchable at its promotion
+    // tick, and submit-based waiting would let its blocked time consume
+    // the whole window — every promotion would force an immediate,
+    // usually undersized, cut.
+    return now - pending.front().admitted_cycle >= policy_.max_wait_cycles;
   };
 
   while (cut_due()) {

@@ -35,12 +35,16 @@ ServeMetrics::ServeMetrics(engine::MetricsRegistry& registry,
       batched_nodes_(&registry.counter(prefix_ + ".batched_nodes")),
       coalesced_nodes_(&registry.counter(prefix_ + ".coalesced_nodes")),
       ticks_(&registry.counter(prefix_ + ".ticks")),
+      retries_(&registry.counter(prefix_ + ".retries")),
+      rerouted_requests_(&registry.counter(prefix_ + ".rerouted_requests")),
+      stalled_cycles_(&registry.counter(prefix_ + ".stalled_cycles")),
       queue_depth_(&registry.gauge(prefix_ + ".queue_depth")),
       blocked_depth_(&registry.gauge(prefix_ + ".blocked_depth")),
       latency_(&registry.histogram(prefix_ + ".latency")),
       queue_wait_(&registry.histogram(prefix_ + ".queue_wait")),
       batch_nodes_(&registry.histogram(prefix_ + ".batch_nodes")),
-      batch_requests_(&registry.histogram(prefix_ + ".batch_requests")) {}
+      batch_requests_(&registry.histogram(prefix_ + ".batch_requests")),
+      retried_latency_(&registry.histogram(prefix_ + ".retried_latency")) {}
 
 void ServeMetrics::on_tick(std::size_t pending, std::size_t blocked_depth) {
   ticks_->add();
@@ -62,6 +66,7 @@ void ServeMetrics::on_completed(const Response& response) {
   completed_->add();
   latency_->record(response.latency());
   queue_wait_->record(response.queue_wait());
+  if (response.retries > 0) retried_latency_->record(response.latency());
 }
 
 Json ServeMetrics::summary() const {
@@ -97,12 +102,19 @@ Json ServeMetrics::summary() const {
   queues.set("blocked_high_water",
              Json(static_cast<std::uint64_t>(blocked_depth_->high_water())));
 
+  Json faults = Json::object();
+  faults.set("retries", Json(retries_->value()));
+  faults.set("rerouted_requests", Json(rerouted_requests_->value()));
+  faults.set("stalled_cycles", Json(stalled_cycles_->value()));
+  faults.set("retried_latency", histogram_summary(*retried_latency_));
+
   Json j = Json::object();
   j.set("latency", histogram_summary(*latency_));
   j.set("queue_wait", histogram_summary(*queue_wait_));
   j.set("batches", batches);
   j.set("counters", counters);
   j.set("queues", queues);
+  j.set("faults", faults);
   return j;
 }
 

@@ -24,6 +24,7 @@ Json ServeReport::to_json() const {
   j.set("batches", Json(batches.size()));
   j.set("replicas", Json(replicas.size()));
   j.set("ticks", Json(ticks));
+  j.set("rounds", Json(rounds));
   j.set("final_cycle", Json(final_cycle));
   j.set("metrics", metrics);
 
@@ -36,6 +37,7 @@ Json ServeReport::to_json() const {
     row.set("submit", Json(r.submit_cycle));
     row.set("completion", Json(r.completion_cycle));
     row.set("latency", Json(r.latency()));
+    row.set("retries", Json(std::uint64_t{r.retries}));
     if (r.status == RequestStatus::kOk) row.set("batch", Json(r.batch));
     rows.push_back(std::move(row));
   }
@@ -92,18 +94,42 @@ ServeReport Server::run() {
   }
   metrics.on_submitted(requests.size());
 
-  // ---- Tick loop: single-threaded control plane. ----------------------
+  // ---- Tick loop: single-threaded control plane, in serving rounds. ---
+  // A round is one pass of (tick loop -> replica execution -> assembly).
+  // Without a RetryPolicy there is exactly one round and the pipeline is
+  // the original single-pass server, stamp for stamp. With retries, each
+  // round's timed-out completions are discarded and re-enter the next
+  // round's intake at the cycle the caller would have resent; since
+  // everything below runs on the single-threaded control plane except the
+  // replica engines (which are deterministic), responses stay bit-identical
+  // at any worker count.
   const std::uint64_t T = options_.tick_cycles;
+  const std::uint32_t R = options_.replicas;
+  const RetryPolicy& retry_policy = options_.retry;
   AdmissionController admission(options_.admission);
   BatchFormer former(options_.batch);
-  std::size_t next_intake = 0;   // first not-yet-offered canonical index
-  // Requests not yet shed, expired, or dispatched in a batch. Dispatched
-  // requests leave the control plane — their completion cycle is decided
-  // by the replica runs below, not the tick loop.
-  std::size_t unresolved = requests.size();
   std::uint64_t ticks = 0;
+  std::uint64_t rounds = 0;
   std::vector<std::size_t> scratch;
+  std::vector<std::uint32_t> attempts(requests.size(), 0);
 
+  // Intake entries for the current round: (arrival cycle, canonical
+  // index), sorted by (arrival, index). Round 1 is every submitted
+  // request at its submit cycle — already in order, since the canonical
+  // sort leads with submit_cycle and index order breaks ties.
+  struct IntakeEntry {
+    std::uint64_t arrival = 0;
+    std::size_t index = 0;
+  };
+  std::vector<IntakeEntry> intake(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    intake[i] = IntakeEntry{requests[i].submit_cycle, i};
+  }
+
+  // Requests of the current round not yet shed, expired, or dispatched in
+  // a batch. Dispatched requests leave the control plane — their
+  // completion cycle is decided by the replica runs, not the tick loop.
+  std::size_t unresolved = 0;
   const auto resolve = [&](std::size_t index, RequestStatus status,
                            std::uint64_t cycle) {
     Response& r = report.responses[index];
@@ -113,124 +139,176 @@ ServeReport Server::run() {
     unresolved -= 1;
   };
 
-  std::uint64_t t = 0;
-  while (unresolved > 0) {
-    ticks += 1;
-    // Phase 1: expire queued requests whose deadline budget elapsed.
-    scratch.clear();
-    admission.expire(t, scratch);
-    for (const std::size_t index : scratch) {
-      resolve(index, RequestStatus::kExpired, t);
-    }
-    metrics.on_expired(scratch.size());
-
-    // Phase 2: promote blocked callers into freed slots, FIFO — before
-    // intake, so blocked callers outrank this tick's new arrivals.
-    scratch.clear();
-    admission.promote(t, scratch);
-    metrics.on_promoted(scratch.size());
-    for (const std::size_t index : scratch) {
-      report.responses[index].admitted_cycle = t;
-    }
-
-    // Phase 3: intake of everything submitted by now, canonical order.
-    while (next_intake < requests.size() &&
-           requests[next_intake].submit_cycle <= t) {
-      const std::size_t index = next_intake++;
-      switch (admission.offer(index, requests[index], t)) {
-        case AdmissionController::Decision::kAdmitted:
-          report.responses[index].admitted_cycle = t;
-          metrics.on_admitted();
-          break;
-        case AdmissionController::Decision::kBlocked:
-          metrics.on_blocked();
-          break;
-        case AdmissionController::Decision::kShedNow:
-          resolve(index, RequestStatus::kShed, t);
-          metrics.on_shed();
-          break;
-        case AdmissionController::Decision::kDeadOnArrival:
-          resolve(index, RequestStatus::kExpired, t);
-          metrics.on_expired(1);
-          break;
-      }
-    }
-
-    // Phase 4: cut batches. Members get their dispatch stamp here; their
-    // completion waits for the replica runs below.
-    for (FormedBatch& batch : former.form(t, admission)) {
-      for (const std::size_t index : batch.members) {
-        Response& r = report.responses[index];
-        r.dispatch_cycle = t;
-        r.batch = batch.id;
-      }
-      unresolved -= batch.members.size();
-      metrics.on_batch(batch);
-      report.batches.push_back(std::move(batch));
-    }
-
-    // Phase 5: observe queue depths for this tick.
-    metrics.on_tick(admission.pending_count(), admission.blocked_count());
-
-    // Advance. When the queues are idle the next event is the next
-    // submission; jump straight to its tick (ceiling — intake needs
-    // submit_cycle <= t) instead of ticking through the idle gap.
-    if (admission.idle() && next_intake < requests.size()) {
-      const std::uint64_t submit = requests[next_intake].submit_cycle;
-      const std::uint64_t next_tick = (submit + T - 1) / T * T;
-      t = next_tick > t ? next_tick : t + T;
-    } else {
-      t += T;
-    }
-  }
-  report.ticks = ticks;
-
-  // ---- Replica execution: the only parallel phase. --------------------
-  // Batch b runs on replica b mod R; each replica feeds its batch list
-  // through the cycle engine with the dispatch ticks as explicit arrivals
-  // (nondecreasing by construction — batch ids are minted in tick order).
-  const std::uint32_t R = options_.replicas;
   report.replicas.resize(R);
   std::vector<std::vector<std::size_t>> plan(R);  // replica -> batch indices
-  for (std::size_t b = 0; b < report.batches.size(); ++b) {
-    plan[b % R].push_back(b);
-  }
-  const unsigned workers =
-      std::min<unsigned>(resolve_threads(options_.workers), R);
-  parallel_chunks(R, workers, /*grain=*/1,
-                  [&](unsigned, std::uint64_t begin, std::uint64_t end) {
-                    for (std::uint64_t r = begin; r < end; ++r) {
-                      std::vector<Workload::Access> accesses;
-                      std::vector<std::uint64_t> arrivals;
-                      accesses.reserve(plan[r].size());
-                      arrivals.reserve(plan[r].size());
-                      for (const std::size_t b : plan[r]) {
-                        accesses.push_back(report.batches[b].nodes);
-                        arrivals.push_back(report.batches[b].formed_cycle);
-                      }
-                      const engine::CycleEngine eng(mapping_);
-                      report.replicas[r] = eng.run(
-                          Workload(std::move(accesses)),
-                          engine::ArrivalSchedule::explicit_cycles(
-                              std::move(arrivals)),
-                          options_.engine);
-                    }
-                  });
+  std::uint64_t t = 0;
 
-  // ---- Response assembly + metrics, deterministic order. --------------
-  std::uint64_t last = 0;
-  for (std::size_t b = 0; b < report.batches.size(); ++b) {
-    const engine::EngineResult& res = report.replicas[b % R];
-    const std::size_t slot = b / R;  // position within the replica's run
-    const std::uint64_t completion = res.records[slot].completion;
-    last = std::max(last, completion);
-    for (const std::size_t index : report.batches[b].members) {
-      Response& r = report.responses[index];
-      assert(r.status == RequestStatus::kPending);
-      r.status = RequestStatus::kOk;
-      r.completion_cycle = completion;
+  while (true) {
+    rounds += 1;
+    const std::size_t round_first_batch = report.batches.size();
+    std::size_t next_intake = 0;  // first not-yet-offered intake entry
+    unresolved = intake.size();
+
+    while (unresolved > 0) {
+      ticks += 1;
+      // Phase 1: expire queued requests whose deadline budget elapsed.
+      scratch.clear();
+      admission.expire(t, scratch);
+      for (const std::size_t index : scratch) {
+        resolve(index, RequestStatus::kExpired, t);
+      }
+      metrics.on_expired(scratch.size());
+
+      // Phase 2: promote blocked callers into freed slots, FIFO — before
+      // intake, so blocked callers outrank this tick's new arrivals.
+      scratch.clear();
+      admission.promote(t, scratch);
+      metrics.on_promoted(scratch.size());
+      for (const std::size_t index : scratch) {
+        report.responses[index].admitted_cycle = t;
+      }
+
+      // Phase 3: intake of everything arrived by now, canonical order.
+      // Retried requests keep their original Request — original submit
+      // cycle and deadline — so the deadline sweep above and the
+      // dead-on-arrival check below price the retry against the budget
+      // that remains, not a fresh one.
+      while (next_intake < intake.size() &&
+             intake[next_intake].arrival <= t) {
+        const std::size_t index = intake[next_intake++].index;
+        switch (admission.offer(index, requests[index], t)) {
+          case AdmissionController::Decision::kAdmitted:
+            report.responses[index].admitted_cycle = t;
+            metrics.on_admitted();
+            break;
+          case AdmissionController::Decision::kBlocked:
+            metrics.on_blocked();
+            break;
+          case AdmissionController::Decision::kShedNow:
+            resolve(index, RequestStatus::kShed, t);
+            metrics.on_shed();
+            break;
+          case AdmissionController::Decision::kDeadOnArrival:
+            resolve(index, RequestStatus::kExpired, t);
+            metrics.on_expired(1);
+            break;
+        }
+      }
+
+      // Phase 4: cut batches. Members get their dispatch stamp here;
+      // their completion waits for the replica runs below.
+      for (FormedBatch& batch : former.form(t, admission)) {
+        for (const std::size_t index : batch.members) {
+          Response& r = report.responses[index];
+          r.dispatch_cycle = t;
+          r.batch = batch.id;
+        }
+        unresolved -= batch.members.size();
+        metrics.on_batch(batch);
+        report.batches.push_back(std::move(batch));
+      }
+
+      // Phase 5: observe queue depths for this tick.
+      metrics.on_tick(admission.pending_count(), admission.blocked_count());
+
+      // Advance. When the queues are idle the next event is the next
+      // arrival; jump straight to its tick (ceiling — intake needs
+      // arrival <= t) instead of ticking through the idle gap.
+      if (admission.idle() && next_intake < intake.size()) {
+        const std::uint64_t arrival = intake[next_intake].arrival;
+        const std::uint64_t next_tick = (arrival + T - 1) / T * T;
+        t = next_tick > t ? next_tick : t + T;
+      } else {
+        t += T;
+      }
     }
+
+    // ---- Replica execution: the only parallel phase. ------------------
+    // Batch b runs on replica b mod R; each replica feeds its cumulative
+    // batch list through the cycle engine with the dispatch ticks as
+    // explicit arrivals (nondecreasing by construction — batch ids are
+    // minted in tick order and t only advances across rounds). Re-running
+    // a replica with later batches appended cannot change the earlier
+    // batches' completions — later arrivals queue strictly behind — so
+    // each round's re-execution extends, never rewrites, the previous
+    // round's results.
+    for (std::size_t b = round_first_batch; b < report.batches.size(); ++b) {
+      plan[b % R].push_back(b);
+    }
+    const unsigned workers =
+        std::min<unsigned>(resolve_threads(options_.workers), R);
+    parallel_chunks(R, workers, /*grain=*/1,
+                    [&](unsigned, std::uint64_t begin, std::uint64_t end) {
+                      for (std::uint64_t r = begin; r < end; ++r) {
+                        std::vector<Workload::Access> accesses;
+                        std::vector<std::uint64_t> arrivals;
+                        accesses.reserve(plan[r].size());
+                        arrivals.reserve(plan[r].size());
+                        for (const std::size_t b : plan[r]) {
+                          accesses.push_back(report.batches[b].nodes);
+                          arrivals.push_back(report.batches[b].formed_cycle);
+                        }
+                        const engine::CycleEngine eng(mapping_);
+                        report.replicas[r] = eng.run(
+                            Workload(std::move(accesses)),
+                            engine::ArrivalSchedule::explicit_cycles(
+                                std::move(arrivals)),
+                            options_.engine);
+                      }
+                    });
+
+    // ---- Round assembly: this round's batches resolve their members. --
+    for (std::size_t b = round_first_batch; b < report.batches.size(); ++b) {
+      const engine::EngineResult& res = report.replicas[b % R];
+      const std::size_t slot = b / R;  // position within the replica's run
+      const std::uint64_t completion = res.records[slot].completion;
+      for (const std::size_t index : report.batches[b].members) {
+        Response& r = report.responses[index];
+        assert(r.status == RequestStatus::kPending);
+        r.status = RequestStatus::kOk;
+        r.completion_cycle = completion;
+      }
+    }
+
+    // ---- Retry scan: discard timed-out completions into next round. ---
+    std::vector<IntakeEntry> retries;
+    if (retry_policy.enabled()) {
+      for (std::size_t b = round_first_batch; b < report.batches.size();
+           ++b) {
+        for (const std::size_t index : report.batches[b].members) {
+          Response& r = report.responses[index];
+          const std::uint64_t residency =
+              r.completion_cycle - r.dispatch_cycle;
+          if (residency <= retry_policy.attempt_timeout_cycles ||
+              attempts[index] >= retry_policy.max_retries) {
+            continue;
+          }
+          attempts[index] += 1;
+          r.retries = attempts[index];
+          r.status = RequestStatus::kPending;
+          // The caller resends once its attempt timer fires plus backoff;
+          // the deadline countdown keeps running from the original submit.
+          retries.push_back(IntakeEntry{
+              r.dispatch_cycle + retry_policy.attempt_timeout_cycles +
+                  retry_policy.backoff(attempts[index]),
+              index});
+        }
+      }
+    }
+    if (retries.empty()) break;
+    std::sort(retries.begin(), retries.end(),
+              [](const IntakeEntry& a, const IntakeEntry& b) {
+                if (a.arrival != b.arrival) return a.arrival < b.arrival;
+                return a.index < b.index;
+              });
+    metrics.on_retried(retries.size());
+    intake = std::move(retries);
   }
+  report.ticks = ticks;
+  report.rounds = rounds;
+
+  // ---- Final accounting + metrics, deterministic order. ---------------
+  std::uint64_t last = 0;
   for (const Response& r : report.responses) {
     last = std::max(last, r.completion_cycle);
     if (r.status == RequestStatus::kOk) metrics.on_completed(r);
@@ -239,13 +317,15 @@ ServeReport Server::run() {
 
   // Fold the per-replica engine trajectories into the registry under
   // stable names (replica engines above run without a registry so the
-  // parallel phase never shares one).
+  // parallel phase never shares one), plus the fault counters the runs
+  // accumulated.
   for (std::uint32_t r = 0; r < R; ++r) {
     const std::string prefix = "serve.replica" + std::to_string(r);
     const engine::EngineResult& res = report.replicas[r];
     registry_.counter(prefix + ".accesses").add(res.accesses);
     registry_.counter(prefix + ".requests").add(res.requests);
     registry_.counter(prefix + ".busy_cycles").add(res.busy_cycles);
+    metrics.on_replica_faults(res.rerouted_requests, res.stalled_cycles);
   }
 
   report.metrics = metrics.summary();

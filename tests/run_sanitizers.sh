@@ -13,7 +13,11 @@
 # (test_serve_differential races four submitter threads into Server's
 # striped-inbox MPSC path and then runs the replica phase at 1/2/8
 # workers, asserting responses bit-identical to the single-threaded
-# oracle).
+# oracle), and degraded mode (test_engine_faults runs the fault-injected
+# sharded engine at 1/2/8 threads; test_serve_differential's faulted
+# configs re-run replicas across retry rounds at 1/2/8 workers — a data
+# race in the fault path or the round fold shows up as a report and as a
+# bit-identity mismatch).
 #
 #   tests/run_sanitizers.sh             # all three sanitizers, full suite
 #   tests/run_sanitizers.sh tsan        # one sanitizer

@@ -1,0 +1,425 @@
+// Fault-injection tests (DESIGN.md §12): the FaultPlan/FaultTimeline
+// vocabulary, and the differential contract that makes degraded serving
+// trustworthy — an empty plan is bit-identical to the fault-free run on
+// both engines, the event core under any plan is bit-identical to the
+// reference loop under the same plan, and the sharded runner's merged
+// degraded trajectory never depends on its thread count.
+#include "pmtree/fault/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "pmtree/engine/engine.hpp"
+#include "pmtree/engine/reference.hpp"
+#include "pmtree/engine/sharded.hpp"
+#include "pmtree/mapping/baselines.hpp"
+#include "pmtree/mapping/color.hpp"
+#include "pmtree/mapping/combinators.hpp"
+#include "pmtree/util/rng.hpp"
+
+namespace pmtree {
+namespace {
+
+using engine::ArrivalSchedule;
+using engine::CycleEngine;
+using engine::EngineOptions;
+using engine::EngineResult;
+using engine::Histogram;
+using engine::ReferenceEngine;
+using engine::ShardedEngineRunner;
+using engine::ShardedOptions;
+using fault::FaultPlan;
+using fault::FaultTimeline;
+
+using DepthSampling = EngineOptions::DepthSampling;
+
+// ---------------------------------------------------------------------------
+// FaultTimeline semantics.
+
+TEST(FaultTimeline, CompilesFailStopsAndRedirectsRoundRobin) {
+  // Dead = {1, 3, 4} of 6 modules, live = {0, 2, 5}: the j-th dead module
+  // (ascending) folds onto the j-th live module mod 3.
+  FaultPlan plan;
+  plan.fail_stop(3, 10).fail_stop(1, 4).fail_stop(4, 7);
+  const FaultTimeline tl(plan, 6);
+
+  EXPECT_EQ(tl.fail_cycle(1), 4u);
+  EXPECT_EQ(tl.fail_cycle(3), 10u);
+  EXPECT_EQ(tl.fail_cycle(4), 7u);
+  EXPECT_EQ(tl.fail_cycle(0), FaultTimeline::kNever);
+
+  EXPECT_EQ(tl.dead_modules(), (std::vector<std::uint32_t>{1, 3, 4}));
+  EXPECT_EQ(tl.live_modules(), (std::vector<std::uint32_t>{0, 2, 5}));
+  EXPECT_EQ(tl.redirect(1), 0u);
+  EXPECT_EQ(tl.redirect(3), 2u);
+  EXPECT_EQ(tl.redirect(4), 5u);
+  EXPECT_EQ(tl.redirect(0), 0u);  // live modules map to themselves
+
+  EXPECT_FALSE(tl.dead_at(1, 3));
+  EXPECT_TRUE(tl.dead_at(1, 4));
+  EXPECT_FALSE(tl.serves_at(1, 4));
+  EXPECT_TRUE(tl.serves_at(0, 4));
+
+  // Fail events come out in (cycle, module) order — the drain order.
+  ASSERT_EQ(tl.fail_events().size(), 3u);
+  EXPECT_EQ(tl.fail_events()[0].module, 1u);
+  EXPECT_EQ(tl.fail_events()[1].module, 4u);
+  EXPECT_EQ(tl.fail_events()[2].module, 3u);
+}
+
+TEST(FaultTimeline, DuplicateFailStopsKeepEarliestCycle) {
+  FaultPlan plan;
+  plan.fail_stop(2, 20).fail_stop(2, 5).fail_stop(2, 11);
+  const FaultTimeline tl(plan, 4);
+  EXPECT_EQ(tl.fail_cycle(2), 5u);
+  EXPECT_EQ(tl.dead_modules().size(), 1u);
+  EXPECT_EQ(tl.fail_events().size(), 1u);
+}
+
+TEST(FaultTimeline, SlowdownGatesServiceOnPeriodBoundaries) {
+  FaultPlan plan;
+  plan.slow_down(0, 10, 22, 4);
+  const FaultTimeline tl(plan, 2);
+  ASSERT_TRUE(tl.any_faults());
+  for (std::uint64_t t = 0; t < 30; ++t) {
+    const bool in_window = t >= 10 && t < 22;
+    const bool expect = !in_window || (t - 10) % 4 == 0;
+    EXPECT_EQ(tl.serves_at(0, t), expect) << "t=" << t;
+    EXPECT_TRUE(tl.serves_at(1, t)) << "t=" << t;  // untouched module
+  }
+}
+
+TEST(FaultTimeline, IgnoresOutOfRangeAndDegenerateEntries) {
+  FaultPlan plan;
+  plan.fail_stop(9, 1);         // module beyond the universe
+  plan.slow_down(0, 5, 5, 3);   // empty interval
+  plan.slow_down(0, 5, 9, 1);   // period 1 is a no-op
+  plan.slow_down(7, 5, 9, 3);   // module beyond the universe
+  EXPECT_FALSE(plan.empty());   // the *plan* records them...
+  const FaultTimeline tl(plan, 4);
+  EXPECT_FALSE(tl.any_faults());  // ...the *timeline* applies none
+  for (std::uint32_t m = 0; m < 4; ++m) {
+    EXPECT_EQ(tl.fail_cycle(m), FaultTimeline::kNever);
+    EXPECT_TRUE(tl.serves_at(m, 7));
+  }
+}
+
+TEST(FaultTimeline, SparesOneSurvivorWhenEveryModuleFails) {
+  FaultPlan plan;
+  plan.fail_stop(0, 8).fail_stop(1, 12).fail_stop(2, 12);
+  const FaultTimeline tl(plan, 3);
+  // Latest fail cycle wins, ties to the highest id: module 2 survives.
+  EXPECT_EQ(tl.live_modules(), (std::vector<std::uint32_t>{2}));
+  EXPECT_EQ(tl.fail_cycle(2), FaultTimeline::kNever);
+  EXPECT_EQ(tl.redirect(0), 2u);
+  EXPECT_EQ(tl.redirect(1), 2u);
+}
+
+TEST(FaultPlan, RandomIsDeterministicAndCapsFailures) {
+  FaultPlan::RandomOptions opts;
+  opts.seed = 42;
+  opts.modules = 10;
+  opts.fail_fraction = 0.3;
+  opts.slowdown_count = 4;
+  const FaultPlan a = FaultPlan::random(opts);
+  const FaultPlan b = FaultPlan::random(opts);
+  EXPECT_EQ(a.to_json().dump(), b.to_json().dump());
+  EXPECT_EQ(a.fail_stops().size(), 3u);
+  EXPECT_EQ(a.slowdowns().size(), 4u);
+
+  // fail_fraction = 1 still leaves a survivor by construction.
+  opts.fail_fraction = 1.0;
+  const FaultPlan all = FaultPlan::random(opts);
+  EXPECT_EQ(all.fail_stops().size(), 9u);
+}
+
+// ---------------------------------------------------------------------------
+// DegradedMapping mirrors the timeline's routing rule.
+
+TEST(DegradedMapping, MatchesFaultTimelineRedirectTable) {
+  const CompleteBinaryTree tree(8);
+  const ModuloMapping base(tree, 7);
+  const std::vector<Color> dead{2, 5};
+  const DegradedMapping degraded(base, dead);
+
+  FaultPlan plan;
+  for (const Color d : dead) plan.fail_stop(d, 0);
+  const FaultTimeline tl(plan, base.num_modules());
+
+  EXPECT_EQ(degraded.num_modules(), base.num_modules());
+  EXPECT_EQ(degraded.live_modules(), 5u);
+  EXPECT_EQ(degraded.name(), base.name() + "+degraded");
+  for (Color c = 0; c < base.num_modules(); ++c) {
+    EXPECT_EQ(degraded.redirect_table()[c], tl.redirect(c)) << "color " << c;
+  }
+
+  // Scalar and batch kernels agree, and dead colors never appear.
+  std::vector<Node> nodes;
+  for (std::uint64_t i = 0; i < tree.level_width(6); ++i) {
+    nodes.push_back(Node{6, i});
+  }
+  std::vector<Color> colors(nodes.size());
+  degraded.color_of_batch(nodes, colors);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_EQ(colors[i], degraded.color_of(nodes[i]));
+    EXPECT_EQ(colors[i], tl.redirect(base.color_of(nodes[i])));
+    EXPECT_NE(colors[i], 2u);
+    EXPECT_NE(colors[i], 5u);
+  }
+}
+
+TEST(DegradedMapping, SteadyStateEngineRoutingAgrees) {
+  // A plan whose modules are dead from cycle 0 routes every request where
+  // DegradedMapping would have colored it: served[] distributions match.
+  const CompleteBinaryTree tree(9);
+  const ColorMapping mapping = make_optimal_color_mapping(tree, 8);
+  FaultPlan plan;
+  plan.fail_stop(1, 0).fail_stop(6, 0);
+  const DegradedMapping degraded(mapping, {1, 6});
+
+  const Workload workload = Workload::paths(tree, 9, 40, 17);
+  const CycleEngine healthy_on_degraded(degraded);
+  const EngineResult want =
+      healthy_on_degraded.run(workload, ArrivalSchedule::all_at_once());
+
+  EngineOptions opts;
+  opts.faults = &plan;
+  const CycleEngine faulted(mapping);
+  const EngineResult got =
+      faulted.run(workload, ArrivalSchedule::all_at_once(), opts);
+
+  EXPECT_EQ(got.served, want.served);
+  EXPECT_EQ(got.completion_cycle, want.completion_cycle);
+  // Dead from cycle 0: exactly the requests the base mapping colors to a
+  // dead module are redirected at admission.
+  std::uint64_t expect_rerouted = 0;
+  for (const auto& access : workload.accesses()) {
+    for (const Node n : access) {
+      const Color c = mapping.color_of(n);
+      if (c == 1 || c == 6) expect_rerouted += 1;
+    }
+  }
+  EXPECT_EQ(got.rerouted_requests, expect_rerouted);
+  EXPECT_GT(expect_rerouted, 0u);
+  EXPECT_EQ(got.served[1], 0u);
+  EXPECT_EQ(got.served[6], 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Differential: engines under faults.
+
+std::unique_ptr<TreeMapping> random_mapping(const CompleteBinaryTree& tree,
+                                            Rng& rng) {
+  switch (rng.below(3)) {
+    case 0: {
+      const std::uint32_t M = 7 + static_cast<std::uint32_t>(rng.below(3)) * 8;
+      return std::make_unique<ColorMapping>(
+          make_optimal_color_mapping(tree, M));
+    }
+    case 1:
+      return std::make_unique<ModuloMapping>(
+          tree, 3 + static_cast<std::uint32_t>(rng.below(14)));
+    default:
+      return std::make_unique<RandomMapping>(
+          tree, 3 + static_cast<std::uint32_t>(rng.below(14)), rng());
+  }
+}
+
+Workload random_workload(const CompleteBinaryTree& tree, Rng& rng) {
+  const std::size_t count = 5 + rng.below(20);
+  const std::uint64_t seed = rng();
+  switch (rng.below(3)) {
+    case 0:
+      return Workload::paths(tree, 1 + rng.below(tree.levels()), count, seed);
+    case 1:
+      return Workload::level_runs(tree, 1 + rng.below(16), count, seed);
+    default:
+      return Workload::mixed(tree, 1 + rng.below(12), count, seed);
+  }
+}
+
+ArrivalSchedule random_schedule(Rng& rng) {
+  switch (rng.below(4)) {
+    case 0: return ArrivalSchedule::all_at_once();
+    case 1: return ArrivalSchedule::serialized();
+    case 2: return ArrivalSchedule::fixed_rate(rng.below(5));
+    default:
+      return ArrivalSchedule::bursty(1 + rng.below(8), 1 + rng.below(16));
+  }
+}
+
+FaultPlan random_plan(std::uint32_t modules, Rng& rng) {
+  FaultPlan::RandomOptions opts;
+  opts.seed = rng();
+  opts.modules = modules;
+  opts.fail_fraction = 0.1 + 0.3 * static_cast<double>(rng.below(3));
+  opts.fail_window = 1 + rng.below(128);
+  opts.slowdown_count = static_cast<std::uint32_t>(rng.below(4));
+  opts.slowdown_window = 1 + rng.below(128);
+  opts.slowdown_max_length = 1 + rng.below(64);
+  opts.slowdown_max_period = 2 + rng.below(3);
+  return FaultPlan::random(opts);
+}
+
+void expect_same_histogram(const Histogram& got, const Histogram& want) {
+  ASSERT_EQ(got.count(), want.count());
+  ASSERT_EQ(got.sum(), want.sum());
+  ASSERT_EQ(got.min(), want.min());
+  ASSERT_EQ(got.max(), want.max());
+  const auto gb = got.buckets();
+  const auto wb = want.buckets();
+  ASSERT_EQ(gb.size(), wb.size());
+  for (std::size_t i = 0; i < gb.size(); ++i) {
+    ASSERT_EQ(gb[i].upper, wb[i].upper) << "bucket " << i;
+    ASSERT_EQ(gb[i].count, wb[i].count) << "bucket " << i;
+  }
+}
+
+void expect_same_trajectory(const EngineResult& got, const EngineResult& want,
+                            bool compare_depths) {
+  ASSERT_EQ(got.accesses, want.accesses);
+  ASSERT_EQ(got.requests, want.requests);
+  ASSERT_EQ(got.completion_cycle, want.completion_cycle);
+  ASSERT_EQ(got.busy_cycles, want.busy_cycles);
+  ASSERT_EQ(got.rerouted_requests, want.rerouted_requests);
+  ASSERT_EQ(got.stalled_cycles, want.stalled_cycles);
+  ASSERT_EQ(got.served, want.served);
+  ASSERT_EQ(got.queue_high_water, want.queue_high_water);
+  ASSERT_EQ(got.records.size(), want.records.size());
+  for (std::size_t i = 0; i < got.records.size(); ++i) {
+    ASSERT_EQ(got.records[i].arrival, want.records[i].arrival)
+        << "access " << i;
+    ASSERT_EQ(got.records[i].completion, want.records[i].completion)
+        << "access " << i;
+  }
+  expect_same_histogram(got.latency, want.latency);
+  if (compare_depths) expect_same_histogram(got.queue_depth, want.queue_depth);
+}
+
+TEST(FaultDifferential, EmptyPlanIsBitIdenticalToFaultFree) {
+  Rng rng(0xFA017u);
+  const FaultPlan empty;
+  for (int trial = 0; trial < 20; ++trial) {
+    const CompleteBinaryTree tree(6 + static_cast<std::uint32_t>(rng.below(5)));
+    const auto mapping = random_mapping(tree, rng);
+    const Workload workload = random_workload(tree, rng);
+    const ArrivalSchedule schedule = random_schedule(rng);
+    SCOPED_TRACE("trial=" + std::to_string(trial) + " mapping=" +
+                 mapping->name() + " schedule=" + schedule.name());
+
+    const CycleEngine eng(*mapping);
+    const EngineResult want = eng.run(workload, schedule);
+    EngineOptions opts;
+    opts.faults = &empty;
+    expect_same_trajectory(eng.run(workload, schedule, opts), want,
+                           /*compare_depths=*/true);
+
+    const ReferenceEngine oracle(*mapping);
+    expect_same_trajectory(oracle.run(workload, schedule, empty),
+                           oracle.run(workload, schedule),
+                           /*compare_depths=*/true);
+  }
+}
+
+TEST(FaultDifferential, EventCoreMatchesReferenceUnderFaults) {
+  Rng rng(0xFA1D1FFu);
+  for (int trial = 0; trial < 40; ++trial) {
+    const CompleteBinaryTree tree(6 + static_cast<std::uint32_t>(rng.below(5)));
+    const auto mapping = random_mapping(tree, rng);
+    const Workload workload = random_workload(tree, rng);
+    const ArrivalSchedule schedule = random_schedule(rng);
+    const FaultPlan plan = random_plan(mapping->num_modules(), rng);
+    SCOPED_TRACE("trial=" + std::to_string(trial) + " mapping=" +
+                 mapping->name() + " schedule=" + schedule.name() +
+                 " plan=" + plan.to_json().dump());
+
+    const ReferenceEngine oracle(*mapping);
+    const EngineResult want = oracle.run(workload, schedule, plan);
+    const CycleEngine eng(*mapping);
+
+    EngineOptions full;
+    full.faults = &plan;
+    expect_same_trajectory(eng.run(workload, schedule, full), want,
+                           /*compare_depths=*/true);
+
+    // Reduced sampling changes the observation cost, never the trajectory.
+    EngineOptions off = full;
+    off.sampling = DepthSampling::kOff;
+    const EngineResult fast = eng.run(workload, schedule, off);
+    expect_same_trajectory(fast, want, /*compare_depths=*/false);
+    ASSERT_TRUE(fast.queue_depth.empty());
+
+    EngineOptions strided = full;
+    strided.sampling = DepthSampling::kStrided;
+    strided.sample_stride = 1 + rng.below(7);
+    const EngineResult sampled = eng.run(workload, schedule, strided);
+    expect_same_trajectory(sampled, want, /*compare_depths=*/false);
+    const std::uint64_t expect_samples =
+        (sampled.busy_cycles + strided.sample_stride - 1) /
+        strided.sample_stride * mapping->num_modules();
+    ASSERT_EQ(sampled.queue_depth.count(), expect_samples);
+  }
+}
+
+TEST(FaultDifferential, EveryRequestStillCompletesUnderFaults) {
+  // Degraded, not dead: total served == total requests, dead modules stop
+  // serving at their fail cycle, and slowdowns surface as stalled cycles.
+  const CompleteBinaryTree tree(10);
+  const ModuloMapping mapping(tree, 8);
+  const Workload workload = Workload::mixed(tree, 10, 120, 23);
+  FaultPlan plan;
+  plan.fail_stop(3, 0).fail_stop(5, 16);
+  plan.slow_down(0, 0, 400, 3);
+
+  EngineOptions opts;
+  opts.faults = &plan;
+  const CycleEngine eng(mapping);
+  const EngineResult res =
+      eng.run(workload, ArrivalSchedule::all_at_once(), opts);
+
+  std::uint64_t served = 0;
+  for (const std::uint64_t s : res.served) served += s;
+  EXPECT_EQ(served, res.requests);
+  EXPECT_EQ(res.served[3], 0u);           // dead from cycle 0
+  EXPECT_GT(res.rerouted_requests, 0u);
+  EXPECT_GT(res.stalled_cycles, 0u);
+  for (const auto& rec : res.records) {
+    EXPECT_GE(rec.completion, rec.arrival);
+  }
+  // The degraded run can only be slower than the healthy one.
+  const EngineResult healthy = eng.run(workload, ArrivalSchedule::all_at_once());
+  EXPECT_GE(res.completion_cycle, healthy.completion_cycle);
+}
+
+TEST(FaultDifferential, ShardedRunIsThreadCountInvariantUnderFaults) {
+  Rng rng(0x5AADEDu);
+  for (int trial = 0; trial < 6; ++trial) {
+    const CompleteBinaryTree tree(8);
+    const auto mapping = random_mapping(tree, rng);
+    const Workload workload = random_workload(tree, rng);
+    const FaultPlan plan = random_plan(mapping->num_modules(), rng);
+    SCOPED_TRACE("trial=" + std::to_string(trial));
+
+    const ShardedEngineRunner runner(*mapping);
+    ShardedOptions opts;
+    opts.shards = 1 + rng.below(4);
+    opts.engine.faults = &plan;
+    opts.threads = 1;
+    const auto oracle =
+        runner.run(workload, ArrivalSchedule::fixed_rate(2), opts);
+    for (const unsigned threads : {2u, 8u}) {
+      opts.threads = threads;
+      const auto got =
+          runner.run(workload, ArrivalSchedule::fixed_rate(2), opts);
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      expect_same_trajectory(got.merged, oracle.merged,
+                             /*compare_depths=*/true);
+      ASSERT_EQ(got.merged.to_json().dump(), oracle.merged.to_json().dump());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pmtree

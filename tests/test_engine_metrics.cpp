@@ -97,6 +97,71 @@ TEST(Histogram, EmptyAndSingleValue) {
   EXPECT_EQ(h.value_at_quantile(1.0), 777u);
 }
 
+TEST(Histogram, QuantileEndpointsPinToExactMinAndMax) {
+  // Interior quantiles report bucket upper edges (bounded relative
+  // error); the endpoints are exact: q=0 is the recorded minimum and q=1
+  // the recorded maximum, not their buckets' edges.
+  Histogram h;
+  for (const std::uint64_t v : {1000003u, 1500000u, 1999999u}) h.record(v);
+  EXPECT_EQ(h.value_at_quantile(0.0), 1000003u);
+  EXPECT_EQ(h.value_at_quantile(1.0), 1999999u);
+  EXPECT_EQ(h.value_at_quantile(-0.5), 1000003u);  // clamped below
+  EXPECT_EQ(h.value_at_quantile(1.5), 1999999u);   // clamped above
+  // Interior quantiles still bracket from above.
+  EXPECT_GE(h.value_at_quantile(0.5), 1500000u);
+}
+
+TEST(Histogram, SumSaturatesInsteadOfWrapping) {
+  constexpr std::uint64_t kMax = ~std::uint64_t{0};
+  // Two near-max samples: a wrapping sum would land near zero and poison
+  // every derived mean; the histogram saturates at uint64 max instead.
+  Histogram h;
+  h.record(kMax - 1);
+  h.record(kMax - 1);
+  EXPECT_EQ(h.sum(), kMax);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), kMax - 1);
+
+  // record(value, count) saturates in the multiply as well.
+  Histogram weighted;
+  weighted.record(kMax / 2, 5);
+  EXPECT_EQ(weighted.sum(), kMax);
+
+  // Merging saturated histograms stays saturated.
+  h.merge(weighted);
+  EXPECT_EQ(h.sum(), kMax);
+  EXPECT_EQ(h.count(), 7u);
+}
+
+TEST(Histogram, EmptyHistogramSurvivesRegistryJsonRoundTrip) {
+  // Regression: an empty histogram's min() is the UINT64_MAX sentinel. A
+  // naive restore would take the snapshot's "min": 0 literally, turning
+  // the restored histogram's min() into 0 — distinguishable from a real
+  // recording. The restore path must keep count==0 histograms pristine.
+  MetricsRegistry registry;
+  registry.histogram("empty.latency");
+  registry.counter("runs").add(1);
+
+  const auto text = registry.to_json().dump();
+  const auto parsed = Json::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  const auto back = MetricsRegistry::from_json(*parsed);
+  ASSERT_TRUE(back.has_value());
+
+  const Histogram* h = back->find_histogram("empty.latency");
+  ASSERT_NE(h, nullptr);
+  EXPECT_TRUE(h->empty());
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(h->min(), ~std::uint64_t{0});  // sentinel preserved
+  EXPECT_EQ(h->max(), 0u);
+  EXPECT_EQ(h->sum(), 0u);
+  // A value recorded after the round-trip sets min exactly as on a fresh
+  // histogram — the sentinel wasn't clobbered to 0.
+  Histogram fresh = *h;
+  fresh.record(41);
+  EXPECT_EQ(fresh.min(), 41u);
+}
+
 TEST(Histogram, MergeMatchesCombinedRecording) {
   Rng rng(5);
   Histogram a, b, combined;

@@ -109,6 +109,32 @@ TEST(AdmissionController, DeadOnArrivalIsRejectedAtIntake) {
   EXPECT_TRUE(admission.idle());
 }
 
+TEST(AdmissionController, ExpiredAtDoesNotWrapForNearMaxDeadlines) {
+  constexpr std::uint64_t kMax = ~std::uint64_t{0};
+  // Regression: submit + deadline overflows uint64 for generous budgets;
+  // computed as a sum, submit=10 deadline=kMax-1 "expires" at cycle 8.
+  EXPECT_FALSE(AdmissionController::expired_at(10, kMax - 1, 20));
+  EXPECT_FALSE(AdmissionController::expired_at(10, kMax, kMax));
+  EXPECT_FALSE(AdmissionController::expired_at(1, kMax, 0));
+
+  // deadline 0 means "no deadline", never expires.
+  EXPECT_FALSE(AdmissionController::expired_at(0, 0, kMax));
+
+  // Ordinary budgets: boundary is inclusive-expired (elapsed >= budget).
+  EXPECT_FALSE(AdmissionController::expired_at(5, 10, 14));
+  EXPECT_TRUE(AdmissionController::expired_at(5, 10, 15));
+  EXPECT_TRUE(AdmissionController::expired_at(5, 10, kMax));
+
+  // A clock before the submit cycle has elapsed nothing (requests are
+  // offered at ticks >= submit; the guard keeps the subtraction safe).
+  EXPECT_FALSE(AdmissionController::expired_at(100, 5, 50));
+
+  // Through intake: a near-max budget admits instead of dying on arrival.
+  AdmissionController admission(AdmissionOptions{});
+  const Request generous = make_request(0, 0, 0, {v(0, 0)}, kMax - 1);
+  EXPECT_EQ(admission.offer(0, generous, 4096), Decision::kAdmitted);
+}
+
 // ---- Server-level edge paths -----------------------------------------
 
 ServerOptions tight_options() {

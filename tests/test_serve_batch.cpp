@@ -150,6 +150,79 @@ TEST(BatchFormer, OversizedRequestDispatchesAlone) {
   EXPECT_EQ(batches[1].members, (std::vector<std::size_t>{1}));
 }
 
+TEST(BatchFormer, WaitBudgetCountsFromAdmissionNotSubmission) {
+  // Regression: a caller promoted out of the blocked queue long after its
+  // submit cycle has only just become batchable. Measuring the wait from
+  // submit_cycle would see the whole blocked time as already-elapsed
+  // budget and cut an undersized batch on the promotion tick.
+  AdmissionController admission(AdmissionOptions{});
+  BatchFormer former(BatchPolicy{.max_batch_nodes = 1000,
+                                 .max_wait_cycles = 5});
+  const Request old = make_request(0, /*submit=*/0, {v(0, 0)});
+  // Offered (think: promoted) at tick 50 — 50 cycles after submission.
+  ASSERT_EQ(admission.offer(0, old, 50),
+            AdmissionController::Decision::kAdmitted);
+  ASSERT_EQ(admission.pending().front().admitted_cycle, 50u);
+
+  // Submit-based waiting would cut here (54 - 0 >= 5). Admission-based
+  // waiting holds: only 4 of the 5-cycle window have elapsed.
+  EXPECT_TRUE(former.form(54, admission).empty());
+  EXPECT_EQ(admission.pending_count(), 1u);
+
+  const auto batches = former.form(55, admission);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].members, (std::vector<std::size_t>{0}));
+  EXPECT_TRUE(admission.idle());
+}
+
+TEST(BatchFormer, ExactlyFullRequestIsNotOversized) {
+  // A request of exactly max_batch_nodes nodes fills one batch to the
+  // brim; the next request starts a fresh batch rather than overflowing.
+  AdmissionController admission(AdmissionOptions{});
+  BatchFormer former(BatchPolicy{.max_batch_nodes = 3, .max_wait_cycles = 0});
+  const std::vector<Request> requests{
+      make_request(0, 0, {v(0, 3), v(1, 3), v(2, 3)}),
+      make_request(1, 0, {v(0, 1)}),
+  };
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_EQ(admission.offer(i, requests[i], 0),
+              AdmissionController::Decision::kAdmitted);
+  }
+  const auto batches = former.form(0, admission);
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].members, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(batches[0].nodes.size(), 3u);
+  EXPECT_EQ(batches[1].members, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(admission.pending_node_count(), 0u);
+}
+
+TEST(BatchFormer, OversizedRequestBehindSmallOnesWaitsItsTurn) {
+  // FIFO is never reordered around an oversized request: the small
+  // requests ahead of it share a capped batch, then the oversized one
+  // dispatches alone, members strictly in admission order.
+  AdmissionController admission(AdmissionOptions{});
+  BatchFormer former(BatchPolicy{.max_batch_nodes = 4, .max_wait_cycles = 0});
+  std::vector<Node> big;
+  for (std::uint64_t i = 0; i < 9; ++i) big.push_back(v(i, 4));
+  const std::vector<Request> requests{
+      make_request(0, 0, {v(0, 1)}),
+      make_request(1, 0, {v(1, 1)}),
+      make_request(2, 0, std::move(big)),
+      make_request(3, 0, {v(0, 2)}),
+  };
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_EQ(admission.offer(i, requests[i], 0),
+              AdmissionController::Decision::kAdmitted);
+  }
+  const auto batches = former.form(0, admission);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].members, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(batches[1].members, (std::vector<std::size_t>{2}));
+  EXPECT_EQ(batches[1].nodes.size(), 9u);
+  EXPECT_EQ(batches[2].members, (std::vector<std::size_t>{3}));
+  EXPECT_EQ(admission.pending_node_count(), 0u);
+}
+
 TEST(BatchFormer, DuplicateLookupsCoalesce) {
   AdmissionController admission(AdmissionOptions{});
   BatchFormer former(BatchPolicy{.max_batch_nodes = 64, .max_wait_cycles = 0});

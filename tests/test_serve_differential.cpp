@@ -24,6 +24,9 @@ struct Config {
   std::unique_ptr<TreeMapping> mapping;
   ServerOptions options;
   std::vector<Request> requests;
+  // Owned here; run_with_workers wires it into the copied options so the
+  // pointer survives Config moves (options.engine.faults must never dangle).
+  std::unique_ptr<fault::FaultPlan> faults;
 };
 
 Config random_config(std::uint64_t seed) {
@@ -71,9 +74,34 @@ Config random_config(std::uint64_t seed) {
   return cfg;
 }
 
+/// Degraded serving on top of a base config: a seeded fault plan for the
+/// replica engines plus a retry policy tight enough that fault-inflated
+/// residencies actually fire it.
+Config faulted_config(std::uint64_t seed) {
+  Config cfg = random_config(seed);
+  Rng rng(seed ^ 0xFA017u);
+  fault::FaultPlan::RandomOptions fopts;
+  fopts.seed = rng();
+  fopts.modules = cfg.mapping->num_modules();
+  fopts.fail_fraction = 0.25;
+  fopts.fail_window = 64;
+  fopts.slowdown_count = 2;
+  fopts.slowdown_window = 256;
+  fopts.slowdown_max_length = 128;
+  fopts.slowdown_max_period = 4;
+  cfg.faults =
+      std::make_unique<fault::FaultPlan>(fault::FaultPlan::random(fopts));
+  cfg.options.retry.max_retries = static_cast<std::uint32_t>(rng.between(1, 4));
+  cfg.options.retry.attempt_timeout_cycles = rng.between(2, 12);
+  cfg.options.retry.backoff_base_cycles = rng.between(1, 8);
+  cfg.options.retry.backoff_cap_cycles = 64;
+  return cfg;
+}
+
 ServeReport run_with_workers(const Config& cfg, unsigned workers) {
   ServerOptions opts = cfg.options;
   opts.workers = workers;
+  if (cfg.faults != nullptr) opts.engine.faults = cfg.faults.get();
   Server server(*cfg.mapping, opts);
   for (const Request& r : cfg.requests) server.submit(r);
   return server.run();
@@ -92,7 +120,9 @@ void expect_same_report(const ServeReport& got, const ServeReport& want) {
     ASSERT_EQ(a.dispatch_cycle, b.dispatch_cycle) << i;
     ASSERT_EQ(a.completion_cycle, b.completion_cycle) << i;
     ASSERT_EQ(a.batch, b.batch) << i;
+    ASSERT_EQ(a.retries, b.retries) << i;
   }
+  ASSERT_EQ(got.rounds, want.rounds);
   ASSERT_EQ(got.batches.size(), want.batches.size());
   for (std::size_t b = 0; b < got.batches.size(); ++b) {
     ASSERT_EQ(got.batches[b].members, want.batches[b].members) << b;
@@ -121,6 +151,83 @@ TEST(ServeDifferential, WorkerCountNeverChangesResults) {
     for (const unsigned workers : {2u, 8u}) {
       SCOPED_TRACE("workers=" + std::to_string(workers));
       expect_same_report(run_with_workers(cfg, workers), oracle);
+    }
+  }
+}
+
+TEST(ServeDifferential, FaultedRetryingRunsAreWorkerCountInvariant) {
+  // Degraded mode is held to the same bar as healthy mode: a seeded fault
+  // plan plus an aggressive retry policy must still be bit-identical,
+  // request-for-request and round-for-round, at 1/2/8 workers.
+  std::uint64_t total_retries = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const Config cfg = faulted_config(seed * 15485863);
+    const ServeReport oracle = run_with_workers(cfg, 1);
+
+    // Graceful shutdown survives faults: every request terminal.
+    ASSERT_EQ(oracle.count(RequestStatus::kOk) +
+                  oracle.count(RequestStatus::kShed) +
+                  oracle.count(RequestStatus::kExpired),
+              cfg.requests.size());
+    ASSERT_GE(oracle.rounds, 1u);
+    for (const Response& r : oracle.responses) {
+      ASSERT_LE(r.retries, cfg.options.retry.max_retries);
+      if (r.status == RequestStatus::kOk) {
+        ASSERT_GE(r.completion_cycle, r.dispatch_cycle);
+      }
+      total_retries += r.retries;
+    }
+
+    for (const unsigned workers : {2u, 8u}) {
+      SCOPED_TRACE("workers=" + std::to_string(workers));
+      expect_same_report(run_with_workers(cfg, workers), oracle);
+    }
+  }
+  // The policy is tight enough that retries actually happened somewhere —
+  // otherwise this test would be vacuously re-checking the healthy path.
+  EXPECT_GT(total_retries, 0u);
+}
+
+TEST(ServeDifferential, EmptyFaultPlanMatchesNoPlanExactly) {
+  for (std::uint64_t seed : {5u, 9u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Config cfg = random_config(seed * 2654435761u);
+    const ServeReport bare = run_with_workers(cfg, 2);
+    cfg.faults = std::make_unique<fault::FaultPlan>();  // empty plan
+    expect_same_report(run_with_workers(cfg, 2), bare);
+  }
+}
+
+TEST(ServeDifferential, RetriesRespectDeadlineAndAttemptBudgets) {
+  // Retried requests are never served twice and never exceed the policy's
+  // attempt budget; expiry (including a retry landing past its deadline)
+  // only ever happens to requests that actually carried a deadline.
+  const Config cfg = faulted_config(777);
+  const ServeReport report = run_with_workers(cfg, 1);
+  ASSERT_EQ(report.responses.size(), cfg.requests.size());
+  for (const Response& r : report.responses) {
+    ASSERT_LE(r.retries, cfg.options.retry.max_retries)
+        << "client " << r.client << " seq " << r.seq;
+    ASSERT_NE(r.status, RequestStatus::kPending);
+    if (r.status == RequestStatus::kOk) {
+      ASSERT_GE(r.completion_cycle, r.dispatch_cycle);
+      ASSERT_GE(r.dispatch_cycle, r.submit_cycle);
+    }
+    if (r.status == RequestStatus::kExpired) {
+      // Find the original request: expiry requires a deadline.
+      bool found = false;
+      for (const Request& q : cfg.requests) {
+        if (q.client == r.client && q.seq == r.seq) {
+          EXPECT_NE(q.deadline_cycles, 0u);
+          // Expiry is stamped at the detecting tick: never before the
+          // budget elapsed (ticks may detect it a few cycles late).
+          EXPECT_GE(r.completion_cycle - r.submit_cycle, q.deadline_cycles);
+          found = true;
+          break;
+        }
+      }
+      ASSERT_TRUE(found);
     }
   }
 }
