@@ -65,15 +65,26 @@ class AdmissionController {
     kDeadOnArrival,  ///< deadline already elapsed at intake
   };
 
-  /// Intake of one submitted request at tick `now`.
-  Decision offer(std::size_t index, const Request& request,
-                 std::uint64_t now) {
+  /// Intake of one submitted request at tick `now`. `pool_has_room` is
+  /// the capacity verdict of any *shared* layer above this controller (a
+  /// forest's global queue bound): when false and the controller's own
+  /// queue has space, the request blocks rather than sheds — running out
+  /// of the shared pool is the pool's fault, not this caller's, so the
+  /// overflow policy (which prices the tenant's own quota) never applies.
+  /// Shed therefore remains attributable to the tenant's own queue bound
+  /// alone, the isolation invariant multi-tenant serving needs.
+  Decision offer(std::size_t index, const Request& request, std::uint64_t now,
+                 bool pool_has_room = true) {
     if (expired_at(request.submit_cycle, request.deadline_cycles, now)) {
       return Decision::kDeadOnArrival;
     }
     QueuedRequest q{index, request.submit_cycle, request.deadline_cycles, now,
                     &request.nodes};
     if (pending_.size() < options_.queue_bound) {
+      if (!pool_has_room) {
+        blocked_.push_back(q);
+        return Decision::kBlocked;
+      }
       push_pending(q);
       return Decision::kAdmitted;
     }
@@ -93,9 +104,13 @@ class AdmissionController {
   }
 
   /// Moves blocked callers into the pending queue while space allows,
-  /// stamping them admitted at `now`; appends promoted indices.
-  void promote(std::uint64_t now, std::vector<std::size_t>& promoted) {
-    while (!blocked_.empty() && pending_.size() < options_.queue_bound) {
+  /// stamping them admitted at `now`; appends promoted indices. `limit`
+  /// caps how many may be promoted this call — the shared-pool layer's
+  /// headroom (defaults to unlimited for single-tenant use).
+  void promote(std::uint64_t now, std::vector<std::size_t>& promoted,
+               std::size_t limit = ~std::size_t{0}) {
+    while (limit-- > 0 && !blocked_.empty() &&
+           pending_.size() < options_.queue_bound) {
       QueuedRequest q = blocked_.front();
       blocked_.pop_front();
       q.admitted_cycle = now;
@@ -107,6 +122,9 @@ class AdmissionController {
   /// The batcher drains from the front of this queue (see BatchFormer).
   /// Callers must keep `pending_node_count` consistent via `on_batched`.
   [[nodiscard]] std::deque<QueuedRequest>& pending() noexcept {
+    return pending_;
+  }
+  [[nodiscard]] const std::deque<QueuedRequest>& pending() const noexcept {
     return pending_;
   }
   /// Bookkeeping callback: `nodes` payload nodes just left the pending

@@ -75,6 +75,26 @@ class BatchFormer {
   [[nodiscard]] std::vector<FormedBatch> form(std::uint64_t now,
                                               AdmissionController& controller);
 
+  /// Whether the cut condition holds at tick `now`: the queue is
+  /// non-empty and either max_batch_nodes are pending or the oldest
+  /// request has waited max_wait_cycles since admission. form() cuts
+  /// while this is true; schedulers that meter batch formation (the
+  /// forest's deficit round-robin) poll it one batch at a time.
+  [[nodiscard]] bool due(std::uint64_t now,
+                         const AdmissionController& controller) const;
+
+  /// The pre-dedup node count the next form_one() would take — the DRR
+  /// cost of the batch, computed by the same front-first fill walk
+  /// without mutating the queue. 0 iff the queue is empty.
+  [[nodiscard]] std::uint64_t next_batch_cost(
+      const AdmissionController& controller) const;
+
+  /// Cuts exactly one batch at tick `now`. Precondition: the pending
+  /// queue is non-empty (callers gate on due()). form() is equivalent to
+  /// `while (due(...)) form_one(...)`.
+  [[nodiscard]] FormedBatch form_one(std::uint64_t now,
+                                     AdmissionController& controller);
+
   /// The coalescing kernel, exposed for direct testing: sorts `nodes` in
   /// (level, index) order, removes duplicates in place, and returns the
   /// C(D, c) whose parts are the maximal per-level runs of what remains.

@@ -17,6 +17,7 @@
 
 #include "pmtree/apps/dictionary.hpp"
 #include "pmtree/apps/range_index.hpp"
+#include "pmtree/serve/forest.hpp"
 #include "pmtree/serve/request.hpp"
 #include "pmtree/serve/server.hpp"
 
@@ -36,6 +37,10 @@ class DictionaryClient {
   std::uint64_t submit_search(Server& server, Dictionary::Key key,
                               std::uint64_t submit_cycle,
                               std::uint64_t deadline_cycles = 0);
+  /// Same, against one tenant of a multi-tenant forest.
+  std::uint64_t submit_search(Forest& forest, std::uint32_t tenant,
+                              Dictionary::Key key, std::uint64_t submit_cycle,
+                              std::uint64_t deadline_cycles = 0);
 
   struct Outcome {
     std::uint64_t seq = 0;
@@ -47,6 +52,9 @@ class DictionaryClient {
   /// Joins `report` back to this client's submitted searches, in seq
   /// order. kOk outcomes carry the re-derived search answer.
   [[nodiscard]] std::vector<Outcome> join(const ServeReport& report) const;
+  /// Joins one tenant's section of a forest report (the tenant this
+  /// client submitted to).
+  [[nodiscard]] std::vector<Outcome> join(const TenantReport& report) const;
 
   [[nodiscard]] std::uint32_t id() const noexcept { return client_; }
   [[nodiscard]] std::uint64_t submitted() const noexcept {
@@ -54,6 +62,9 @@ class DictionaryClient {
   }
 
  private:
+  [[nodiscard]] std::vector<Outcome> join_responses(
+      const std::vector<Response>& responses) const;
+
   const Dictionary* dictionary_;
   std::uint32_t client_;
   std::vector<Dictionary::Key> keys_;  ///< indexed by seq
@@ -70,6 +81,11 @@ class RangeIndexClient {
   std::uint64_t submit_query(Server& server, RangeIndex::Key lo,
                              RangeIndex::Key hi, std::uint64_t submit_cycle,
                              std::uint64_t deadline_cycles = 0);
+  /// Same, against one tenant of a multi-tenant forest.
+  std::uint64_t submit_query(Forest& forest, std::uint32_t tenant,
+                             RangeIndex::Key lo, RangeIndex::Key hi,
+                             std::uint64_t submit_cycle,
+                             std::uint64_t deadline_cycles = 0);
 
   struct Outcome {
     std::uint64_t seq = 0;
@@ -80,6 +96,7 @@ class RangeIndexClient {
   };
 
   [[nodiscard]] std::vector<Outcome> join(const ServeReport& report) const;
+  [[nodiscard]] std::vector<Outcome> join(const TenantReport& report) const;
 
   [[nodiscard]] std::uint32_t id() const noexcept { return client_; }
   [[nodiscard]] std::uint64_t submitted() const noexcept {
@@ -87,6 +104,9 @@ class RangeIndexClient {
   }
 
  private:
+  [[nodiscard]] std::vector<Outcome> join_responses(
+      const std::vector<Response>& responses) const;
+
   const RangeIndex* index_;
   std::uint32_t client_;
   std::vector<std::pair<RangeIndex::Key, RangeIndex::Key>> ranges_;

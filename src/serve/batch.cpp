@@ -25,43 +25,65 @@ CompositeInstance BatchFormer::coalesce(std::vector<Node>& nodes) {
   return composite;
 }
 
+bool BatchFormer::due(std::uint64_t now,
+                      const AdmissionController& controller) const {
+  const std::deque<QueuedRequest>& pending = controller.pending();
+  if (pending.empty()) return false;
+  if (controller.pending_node_count() >= policy_.max_batch_nodes) return true;
+  // Wait is measured from admission, not submission: a caller promoted
+  // out of the blocked queue only became batchable at its promotion
+  // tick, and submit-based waiting would let its blocked time consume
+  // the whole window — every promotion would force an immediate,
+  // usually undersized, cut.
+  return now - pending.front().admitted_cycle >= policy_.max_wait_cycles;
+}
+
+std::uint64_t BatchFormer::next_batch_cost(
+    const AdmissionController& controller) const {
+  const std::deque<QueuedRequest>& pending = controller.pending();
+  std::uint64_t taken = 0;
+  std::size_t members = 0;
+  for (const QueuedRequest& q : pending) {
+    const std::uint64_t n = q.nodes->size();
+    if (members != 0 && taken + n > policy_.max_batch_nodes) break;
+    members += 1;
+    taken += n;
+    if (taken >= policy_.max_batch_nodes) break;
+  }
+  return taken;
+}
+
+FormedBatch BatchFormer::form_one(std::uint64_t now,
+                                  AdmissionController& controller) {
+  std::deque<QueuedRequest>& pending = controller.pending();
+  FormedBatch batch;
+  batch.id = next_id_++;
+  batch.formed_cycle = now;
+  std::uint64_t taken = 0;
+  while (!pending.empty()) {
+    const QueuedRequest& q = pending.front();
+    const std::uint64_t n = q.nodes->size();
+    // The first member always fits (oversized requests dispatch alone);
+    // after that, stop before overflowing the cap. This is the same fill
+    // walk next_batch_cost() simulates, so the peeked DRR cost is exact.
+    if (!batch.members.empty() && taken + n > policy_.max_batch_nodes) break;
+    batch.members.push_back(q.index);
+    batch.nodes.insert(batch.nodes.end(), q.nodes->begin(), q.nodes->end());
+    taken += n;
+    controller.on_batched(n);
+    pending.pop_front();
+    if (taken >= policy_.max_batch_nodes) break;
+  }
+  batch.requested_nodes = taken;
+  batch.decomposition = coalesce(batch.nodes);
+  return batch;
+}
+
 std::vector<FormedBatch> BatchFormer::form(std::uint64_t now,
                                            AdmissionController& controller) {
   std::vector<FormedBatch> batches;
-  std::deque<QueuedRequest>& pending = controller.pending();
-
-  const auto cut_due = [&]() {
-    if (pending.empty()) return false;
-    if (controller.pending_node_count() >= policy_.max_batch_nodes) return true;
-    // Wait is measured from admission, not submission: a caller promoted
-    // out of the blocked queue only became batchable at its promotion
-    // tick, and submit-based waiting would let its blocked time consume
-    // the whole window — every promotion would force an immediate,
-    // usually undersized, cut.
-    return now - pending.front().admitted_cycle >= policy_.max_wait_cycles;
-  };
-
-  while (cut_due()) {
-    FormedBatch batch;
-    batch.id = next_id_++;
-    batch.formed_cycle = now;
-    std::uint64_t taken = 0;
-    while (!pending.empty()) {
-      const QueuedRequest& q = pending.front();
-      const std::uint64_t n = q.nodes->size();
-      // The first member always fits (oversized requests dispatch alone);
-      // after that, stop before overflowing the cap.
-      if (!batch.members.empty() && taken + n > policy_.max_batch_nodes) break;
-      batch.members.push_back(q.index);
-      batch.nodes.insert(batch.nodes.end(), q.nodes->begin(), q.nodes->end());
-      taken += n;
-      controller.on_batched(n);
-      pending.pop_front();
-      if (taken >= policy_.max_batch_nodes) break;
-    }
-    batch.requested_nodes = taken;
-    batch.decomposition = coalesce(batch.nodes);
-    batches.push_back(std::move(batch));
+  while (due(now, controller)) {
+    batches.push_back(form_one(now, controller));
   }
   return batches;
 }

@@ -5,11 +5,11 @@ namespace {
 
 /// Responses for `client` in seq order. The report is already in canonical
 /// (submit, client, seq) order; per-client seq order needs one stable pass.
-std::vector<const Response*> responses_for(const ServeReport& report,
-                                           std::uint32_t client,
-                                           std::size_t expected) {
+std::vector<const Response*> responses_for(
+    const std::vector<Response>& responses, std::uint32_t client,
+    std::size_t expected) {
   std::vector<const Response*> mine(expected, nullptr);
-  for (const Response& r : report.responses) {
+  for (const Response& r : responses) {
     if (r.client == client && r.seq < expected) mine[r.seq] = &r;
   }
   return mine;
@@ -33,10 +33,37 @@ std::uint64_t DictionaryClient::submit_search(Server& server,
   return seq;
 }
 
+std::uint64_t DictionaryClient::submit_search(Forest& forest,
+                                              std::uint32_t tenant,
+                                              Dictionary::Key key,
+                                              std::uint64_t submit_cycle,
+                                              std::uint64_t deadline_cycles) {
+  const std::uint64_t seq = keys_.size();
+  keys_.push_back(key);
+  Request request;
+  request.client = client_;
+  request.seq = seq;
+  request.submit_cycle = submit_cycle;
+  request.deadline_cycles = deadline_cycles;
+  request.nodes = dictionary_->search(key).accessed;
+  forest.submit(tenant, std::move(request));
+  return seq;
+}
+
+std::vector<DictionaryClient::Outcome> DictionaryClient::join(
+    const TenantReport& report) const {
+  return join_responses(report.responses);
+}
+
 std::vector<DictionaryClient::Outcome> DictionaryClient::join(
     const ServeReport& report) const {
+  return join_responses(report.responses);
+}
+
+std::vector<DictionaryClient::Outcome> DictionaryClient::join_responses(
+    const std::vector<Response>& responses) const {
   std::vector<Outcome> outcomes;
-  const auto mine = responses_for(report, client_, keys_.size());
+  const auto mine = responses_for(responses, client_, keys_.size());
   outcomes.reserve(keys_.size());
   for (std::size_t seq = 0; seq < keys_.size(); ++seq) {
     if (mine[seq] == nullptr) continue;  // submitted after this run()
@@ -69,10 +96,38 @@ std::uint64_t RangeIndexClient::submit_query(Server& server,
   return seq;
 }
 
+std::uint64_t RangeIndexClient::submit_query(Forest& forest,
+                                             std::uint32_t tenant,
+                                             RangeIndex::Key lo,
+                                             RangeIndex::Key hi,
+                                             std::uint64_t submit_cycle,
+                                             std::uint64_t deadline_cycles) {
+  const std::uint64_t seq = ranges_.size();
+  ranges_.emplace_back(lo, hi);
+  Request request;
+  request.client = client_;
+  request.seq = seq;
+  request.submit_cycle = submit_cycle;
+  request.deadline_cycles = deadline_cycles;
+  request.nodes = index_->query(lo, hi).accessed;
+  forest.submit(tenant, std::move(request));
+  return seq;
+}
+
+std::vector<RangeIndexClient::Outcome> RangeIndexClient::join(
+    const TenantReport& report) const {
+  return join_responses(report.responses);
+}
+
 std::vector<RangeIndexClient::Outcome> RangeIndexClient::join(
     const ServeReport& report) const {
+  return join_responses(report.responses);
+}
+
+std::vector<RangeIndexClient::Outcome> RangeIndexClient::join_responses(
+    const std::vector<Response>& responses) const {
   std::vector<Outcome> outcomes;
-  const auto mine = responses_for(report, client_, ranges_.size());
+  const auto mine = responses_for(responses, client_, ranges_.size());
   outcomes.reserve(ranges_.size());
   for (std::size_t seq = 0; seq < ranges_.size(); ++seq) {
     if (mine[seq] == nullptr) continue;

@@ -17,7 +17,12 @@
 # sharded engine at 1/2/8 threads; test_serve_differential's faulted
 # configs re-run replicas across retry rounds at 1/2/8 workers — a data
 # race in the fault path or the round fold shows up as a report and as a
-# bit-identity mismatch).
+# bit-identity mismatch), and multi-tenant serving (test_serve_forest
+# races four submitter threads into Forest's striped inboxes in
+# ConcurrentSubmissionMatchesSequential and runs every differential
+# config's lane execution at 1/2/8 workers — a race in the shared-pool
+# admission, the DRR batch formation, or the per-tenant lane fold shows
+# up as a TSan report and as a divergence from the 1-worker oracle).
 #
 #   tests/run_sanitizers.sh             # all three sanitizers, full suite
 #   tests/run_sanitizers.sh tsan        # one sanitizer

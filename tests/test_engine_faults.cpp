@@ -421,5 +421,75 @@ TEST(FaultDifferential, ShardedRunIsThreadCountInvariantUnderFaults) {
   }
 }
 
+TEST(DegradedMapping, AgreesWithPlanKillingAllButOneModule) {
+  // Extreme degradation: every module but one dead from cycle 0. The
+  // engine under the plan must land every request where DegradedMapping
+  // routes it — all on the lone survivor — and still complete everything.
+  const CompleteBinaryTree tree(8);
+  const ModuloMapping mapping(tree, 6);
+  FaultPlan plan;
+  std::vector<Color> dead;
+  for (Color m = 0; m < 6; ++m) {
+    if (m == 4) continue;  // survivor
+    plan.fail_stop(m, 0);
+    dead.push_back(m);
+  }
+  const DegradedMapping degraded(mapping, dead);
+  const Workload workload = Workload::mixed(tree, 8, 60, 41);
+
+  EngineOptions opts;
+  opts.faults = &plan;
+  const CycleEngine faulted(mapping);
+  const EngineResult got =
+      faulted.run(workload, ArrivalSchedule::all_at_once(), opts);
+  const CycleEngine oracle(degraded);
+  const EngineResult want =
+      oracle.run(workload, ArrivalSchedule::all_at_once());
+
+  EXPECT_EQ(got.served, want.served);
+  EXPECT_EQ(got.completion_cycle, want.completion_cycle);
+  std::uint64_t served = 0;
+  for (Color m = 0; m < 6; ++m) {
+    if (m != 4) EXPECT_EQ(got.served[m], 0u) << "module " << m;
+    served += got.served[m];
+  }
+  EXPECT_EQ(served, got.requests);
+  EXPECT_EQ(got.served[4], got.requests);
+}
+
+TEST(FaultDifferential, MidRunMassFailureDrainsQueuedRequestsToSurvivor) {
+  // All-but-one modules fail WHILE requests sit queued on them: the
+  // queued work must drain FIFO onto the survivor — nothing is lost, the
+  // run completes, and no dead module serves past its fail cycle.
+  const CompleteBinaryTree tree(9);
+  const ModuloMapping mapping(tree, 5);
+  const Workload workload = Workload::mixed(tree, 9, 100, 59);
+  const std::uint64_t fail_cycle = 6;
+  FaultPlan plan;
+  for (Color m = 1; m < 5; ++m) plan.fail_stop(m, fail_cycle);
+
+  EngineOptions opts;
+  opts.faults = &plan;
+  const CycleEngine eng(mapping);
+  const EngineResult res =
+      eng.run(workload, ArrivalSchedule::all_at_once(), opts);
+
+  std::uint64_t served = 0;
+  for (const std::uint64_t s : res.served) served += s;
+  EXPECT_EQ(served, res.requests);
+  // Dead modules served at most fail_cycle cycles' worth of requests.
+  for (Color m = 1; m < 5; ++m) {
+    EXPECT_LE(res.served[m], fail_cycle) << "module " << m;
+  }
+  EXPECT_GT(res.rerouted_requests, 0u);
+  EXPECT_GT(res.served[0], 0u);
+  for (const auto& rec : res.records) {
+    EXPECT_GE(rec.completion, rec.arrival);
+  }
+  // The survivor ends up with everything the dead modules never served.
+  EXPECT_EQ(res.served[0], res.requests - (res.served[1] + res.served[2] +
+                                           res.served[3] + res.served[4]));
+}
+
 }  // namespace
 }  // namespace pmtree

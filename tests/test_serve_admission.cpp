@@ -279,5 +279,71 @@ TEST(ServerEdge, GracefulShutdownResolvesEveryInFlightRequest) {
   EXPECT_EQ(report.count(RequestStatus::kShed), 0u);
 }
 
+TEST(AdmissionController, PoolExhaustionBlocksInsteadOfShedding) {
+  // The shared-pool verdict overrides the tenant's own overflow policy:
+  // a kShed controller with queue space still BLOCKS when the pool above
+  // it is full — shed must stay attributable to the tenant's own quota.
+  AdmissionController admission(
+      AdmissionOptions{.queue_bound = 4, .overflow = OverflowPolicy::kShed});
+  const Request request = make_request(0, 0, 0, {v(0, 0)});
+  EXPECT_EQ(admission.offer(0, request, 0, /*pool_has_room=*/false),
+            Decision::kBlocked);
+  EXPECT_EQ(admission.pending_count(), 0u);
+  EXPECT_EQ(admission.blocked_count(), 1u);
+
+  // Once the pool frees, promotion admits the blocked caller FIFO.
+  std::vector<std::size_t> promoted;
+  admission.promote(3, promoted);
+  EXPECT_EQ(promoted, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(admission.pending_count(), 1u);
+  EXPECT_EQ(admission.pending().front().admitted_cycle, 3u);
+}
+
+TEST(AdmissionController, PromoteHonorsTheCallerLimit) {
+  AdmissionController admission(
+      AdmissionOptions{.queue_bound = 8, .overflow = OverflowPolicy::kBlock});
+  const std::vector<Request> requests{
+      make_request(0, 0, 0, {v(0, 0)}),
+      make_request(0, 1, 0, {v(0, 1)}),
+      make_request(0, 2, 0, {v(1, 1)}),
+  };
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_EQ(admission.offer(i, requests[i], 0, /*pool_has_room=*/false),
+              Decision::kBlocked);
+  }
+  ASSERT_EQ(admission.blocked_count(), 3u);
+
+  // Limit 2: only the first two blocked callers promote, in FIFO order.
+  std::vector<std::size_t> promoted;
+  admission.promote(1, promoted, /*limit=*/2);
+  EXPECT_EQ(promoted, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(admission.blocked_count(), 1u);
+
+  promoted.clear();
+  admission.promote(2, promoted, /*limit=*/0);
+  EXPECT_TRUE(promoted.empty());  // zero headroom promotes nothing
+
+  promoted.clear();
+  admission.promote(2, promoted);  // default limit: unlimited
+  EXPECT_EQ(promoted, (std::vector<std::size_t>{2}));
+  EXPECT_TRUE(admission.blocked_count() == 0u);
+}
+
+TEST(AdmissionController, PoolBlockedCallersStillExpire) {
+  // A caller parked by pool exhaustion keeps its deadline countdown: the
+  // expire sweep covers the blocked queue too.
+  AdmissionController admission(
+      AdmissionOptions{.queue_bound = 4, .overflow = OverflowPolicy::kShed});
+  const Request request = make_request(0, 0, 0, {v(0, 0)}, /*deadline=*/5);
+  ASSERT_EQ(admission.offer(0, request, 0, /*pool_has_room=*/false),
+            Decision::kBlocked);
+  std::vector<std::size_t> expired;
+  admission.expire(4, expired);
+  EXPECT_TRUE(expired.empty());
+  admission.expire(5, expired);
+  EXPECT_EQ(expired, (std::vector<std::size_t>{0}));
+  EXPECT_TRUE(admission.idle());
+}
+
 }  // namespace
 }  // namespace pmtree::serve

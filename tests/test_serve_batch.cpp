@@ -244,5 +244,91 @@ TEST(BatchFormer, DuplicateLookupsCoalesce) {
   EXPECT_EQ(batches[0].coalesced_nodes(), 6u);
 }
 
+TEST(BatchFormer, NextBatchCostMatchesWhatFormOneTakes) {
+  // The DRR peek and the actual cut run the same fill walk: across a
+  // mixed queue (small, oversized, empty payloads), every peeked cost
+  // equals the next batch's pre-dedup node count exactly.
+  AdmissionController admission(AdmissionOptions{});
+  BatchFormer former(BatchPolicy{.max_batch_nodes = 4, .max_wait_cycles = 0});
+  const std::vector<Request> requests{
+      make_request(0, 0, {v(0, 2), v(1, 2)}),
+      make_request(1, 0, {}),  // empty payload joins the same batch
+      make_request(2, 0, {v(0, 3), v(1, 3), v(2, 3), v(3, 3), v(4, 3)}),
+      make_request(3, 0, {v(0, 1)}),
+  };
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_EQ(admission.offer(i, requests[i], 0),
+              AdmissionController::Decision::kAdmitted);
+  }
+  std::vector<FormedBatch> batches;
+  while (former.due(0, admission)) {
+    const std::uint64_t cost = former.next_batch_cost(admission);
+    FormedBatch batch = former.form_one(0, admission);
+    EXPECT_EQ(batch.requested_nodes, cost) << "batch " << batch.id;
+    batches.push_back(std::move(batch));
+  }
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].members, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(batches[1].members, (std::vector<std::size_t>{2}));  // oversized
+  EXPECT_EQ(batches[2].members, (std::vector<std::size_t>{3}));
+  EXPECT_EQ(admission.pending_count(), 0u);
+}
+
+TEST(BatchFormer, FormIsEquivalentToDueGatedFormOneLoop) {
+  // Two identical queues, one drained by form(), one by the metered
+  // while(due) form_one() loop the forest's DRR uses: batch-for-batch
+  // identical output (ids, members, nodes, stamps).
+  const std::vector<Request> requests{
+      make_request(0, 0, {v(0, 2), v(1, 2)}),
+      make_request(1, 1, {v(2, 2)}),
+      make_request(2, 3, {v(0, 4), v(1, 4), v(2, 4)}),
+      make_request(3, 3, {v(5, 3)}),
+  };
+  const BatchPolicy policy{.max_batch_nodes = 3, .max_wait_cycles = 2};
+  AdmissionController bulk_admission(AdmissionOptions{});
+  AdmissionController metered_admission(AdmissionOptions{});
+  BatchFormer bulk(policy);
+  BatchFormer metered(policy);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_EQ(bulk_admission.offer(i, requests[i], requests[i].submit_cycle),
+              AdmissionController::Decision::kAdmitted);
+    ASSERT_EQ(
+        metered_admission.offer(i, requests[i], requests[i].submit_cycle),
+        AdmissionController::Decision::kAdmitted);
+  }
+  for (std::uint64_t now = 3; now <= 6; ++now) {
+    const std::vector<FormedBatch> want = bulk.form(now, bulk_admission);
+    std::vector<FormedBatch> got;
+    while (metered.due(now, metered_admission)) {
+      got.push_back(metered.form_one(now, metered_admission));
+    }
+    ASSERT_EQ(got.size(), want.size()) << "now=" << now;
+    for (std::size_t b = 0; b < got.size(); ++b) {
+      EXPECT_EQ(got[b].id, want[b].id);
+      EXPECT_EQ(got[b].members, want[b].members);
+      EXPECT_EQ(got[b].nodes, want[b].nodes);
+      EXPECT_EQ(got[b].formed_cycle, want[b].formed_cycle);
+      EXPECT_EQ(got[b].requested_nodes, want[b].requested_nodes);
+    }
+  }
+  EXPECT_EQ(bulk_admission.pending_count(), metered_admission.pending_count());
+}
+
+TEST(BatchFormer, NextBatchCostIsZeroOnlyForEmptyOrAllEmptyQueues) {
+  AdmissionController admission(AdmissionOptions{});
+  const BatchFormer former(
+      BatchPolicy{.max_batch_nodes = 8, .max_wait_cycles = 0});
+  EXPECT_EQ(former.next_batch_cost(admission), 0u);
+  EXPECT_FALSE(former.due(0, admission));
+
+  // A queue holding only empty payloads is due (wait budget 0) at zero
+  // cost — the forest's DRR must always afford it, so it cannot wedge.
+  const Request empty = make_request(0, 0, {});
+  ASSERT_EQ(admission.offer(0, empty, 0),
+            AdmissionController::Decision::kAdmitted);
+  EXPECT_TRUE(former.due(0, admission));
+  EXPECT_EQ(former.next_batch_cost(admission), 0u);
+}
+
 }  // namespace
 }  // namespace pmtree::serve

@@ -1,0 +1,356 @@
+// Fairness invariants of the multi-tenant forest (DESIGN.md §13): the
+// apportionment / capacity-planning / deficit-round-robin primitives in
+// serve/fair.hpp, and the two isolation properties the forest promises —
+// a saturating tenant's batch share converges to its DRR weight, and a
+// tenant shedding on its own quota never causes another tenant to shed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "pmtree/mapping/baselines.hpp"
+#include "pmtree/serve/fair.hpp"
+#include "pmtree/serve/forest.hpp"
+
+namespace pmtree::serve {
+namespace {
+
+// ---- apportion -------------------------------------------------------
+
+TEST(Apportion, SumsToTotalAndFollowsWeights) {
+  const std::vector<std::uint32_t> shares = apportion(10, {1.0, 2.0, 2.0});
+  EXPECT_EQ(std::accumulate(shares.begin(), shares.end(), 0u), 10u);
+  EXPECT_EQ(shares[0], 2u);
+  EXPECT_EQ(shares[1], 4u);
+  EXPECT_EQ(shares[2], 4u);
+}
+
+TEST(Apportion, LeftoverUnitsGoToLargestRemaindersLowIndexFirst) {
+  // 7 * (1/3) = 2.33 each: everyone floors to 2, one leftover unit goes
+  // to the lowest index among the tied remainders.
+  const std::vector<std::uint32_t> shares = apportion(7, {1.0, 1.0, 1.0});
+  EXPECT_EQ(shares, (std::vector<std::uint32_t>{3, 2, 2}));
+}
+
+TEST(Apportion, ZeroAndNonFiniteWeightsGetNothing) {
+  const std::vector<std::uint32_t> shares =
+      apportion(6, {0.0, 3.0, -2.0, 3.0});
+  EXPECT_EQ(shares[0], 0u);
+  EXPECT_EQ(shares[2], 0u);
+  EXPECT_EQ(shares[1], 3u);
+  EXPECT_EQ(shares[3], 3u);
+}
+
+TEST(Apportion, AllZeroWeightsSplitUniformly) {
+  const std::vector<std::uint32_t> shares = apportion(9, {0.0, 0.0, 0.0});
+  EXPECT_EQ(shares, (std::vector<std::uint32_t>{3, 3, 3}));
+}
+
+TEST(Apportion, EmptyAndZeroTotalAreEmptyOrZero) {
+  EXPECT_TRUE(apportion(5, {}).empty());
+  EXPECT_EQ(apportion(0, {1.0, 2.0}),
+            (std::vector<std::uint32_t>{0, 0}));
+}
+
+// ---- plan_capacity ---------------------------------------------------
+
+TEST(CapacityPlan, EveryTenantGetsALaneEvenWhenOversubscribed) {
+  // 2 replicas, 5 tenants: the pool grows to one lane each and records
+  // the requested size instead of silently starving someone.
+  const CapacityPlan plan = plan_capacity({1, 1, 1, 1, 1}, 2);
+  ASSERT_EQ(plan.lanes.size(), 5u);
+  for (const std::uint32_t lanes : plan.lanes) EXPECT_EQ(lanes, 1u);
+  EXPECT_EQ(plan.total_lanes, 5u);
+  EXPECT_EQ(plan.requested_replicas, 2u);
+}
+
+TEST(CapacityPlan, LaneRangesAreContiguousDisjointAndRateProportional) {
+  const CapacityPlan plan = plan_capacity({1.0, 3.0}, 10);
+  ASSERT_EQ(plan.lanes.size(), 2u);
+  // 2 guaranteed lanes + 8 surplus split 1:3 -> 2:6 -> totals 3 and 7.
+  EXPECT_EQ(plan.lanes[0], 3u);
+  EXPECT_EQ(plan.lanes[1], 7u);
+  EXPECT_EQ(plan.first_lane[0], 0u);
+  EXPECT_EQ(plan.first_lane[1], 3u);
+  EXPECT_EQ(plan.total_lanes, 10u);
+  const Json j = plan.to_json();
+  EXPECT_EQ(j.find("total_lanes")->as_uint(), 10u);
+  ASSERT_NE(j.find("tenants"), nullptr);
+  EXPECT_EQ(j.find("tenants")->items().size(), 2u);
+}
+
+// ---- DeficitRoundRobin ----------------------------------------------
+
+TEST(DeficitRoundRobin, QuantaScaleWithWeightAndZeroBehavesAsOne) {
+  DeficitRoundRobin drr({1, 3, 0}, 8);
+  EXPECT_EQ(drr.quantum(0), 8u);
+  EXPECT_EQ(drr.quantum(1), 24u);
+  EXPECT_EQ(drr.quantum(2), 8u);
+  EXPECT_EQ(drr.tenants(), 3u);
+}
+
+TEST(DeficitRoundRobin, AccruesSpendsAndForfeitsCredit) {
+  DeficitRoundRobin drr({2}, 10);
+  EXPECT_FALSE(drr.affords(0, 1));
+  drr.begin_turn(0);
+  EXPECT_EQ(drr.deficit(0), 20u);
+  EXPECT_TRUE(drr.affords(0, 20));
+  EXPECT_FALSE(drr.affords(0, 21));
+  drr.spend(0, 15);
+  EXPECT_EQ(drr.deficit(0), 5u);
+  drr.begin_turn(0);
+  EXPECT_EQ(drr.deficit(0), 25u);  // unspent credit carries while backlogged
+  drr.reset(0);
+  EXPECT_EQ(drr.deficit(0), 0u);  // ...and is forfeited when the queue empties
+}
+
+// ---- forest-level fairness properties --------------------------------
+
+/// Two-tenant saturating scenario: both flood identical single-node
+/// streams at cycle 0 and stay backlogged for a long contended interval.
+ForestReport saturate(std::uint64_t weight_a, std::uint64_t weight_b,
+                      std::size_t per_tenant, const CompleteBinaryTree& tree,
+                      const ModuloMapping& mapping) {
+  ForestOptions fopts;
+  fopts.tick_cycles = 2;
+  fopts.replicas = 2;
+  fopts.drr_quantum_nodes = 8;
+  Forest forest(fopts);
+  for (const std::uint64_t w : {weight_a, weight_b}) {
+    TenantOptions topts;
+    topts.weight = w;
+    topts.admission.queue_bound = 64;
+    topts.admission.overflow = OverflowPolicy::kBlock;
+    topts.batch.max_batch_nodes = 16;
+    topts.batch.max_wait_cycles = 4096;  // size-driven cuts in the bulk
+    forest.add_tenant(mapping, topts);
+  }
+  for (std::uint32_t tenant = 0; tenant < 2; ++tenant) {
+    for (std::size_t i = 0; i < per_tenant; ++i) {
+      Request r;
+      r.client = 0;
+      r.seq = i;
+      r.submit_cycle = 0;
+      r.nodes.push_back(v(i % pow2(tree.levels() - 1),
+                          tree.levels() - 1));
+      forest.submit(tenant, r);
+    }
+  }
+  return forest.run();
+}
+
+/// Nodes tenant `i` dispatched in batches formed at or before `cutoff`.
+std::uint64_t served_until(const ForestReport& report, std::size_t i,
+                           std::uint64_t cutoff) {
+  std::uint64_t nodes = 0;
+  for (const FormedBatch& b : report.tenants[i].batches) {
+    if (b.formed_cycle <= cutoff) nodes += b.requested_nodes;
+  }
+  return nodes;
+}
+
+TEST(ForestFairness, DrrBoundsBatchShareDeviationFromWeight) {
+  const CompleteBinaryTree tree(8);
+  const ModuloMapping mapping(tree, 8);
+  const ForestReport report = saturate(1, 3, 400, tree, mapping);
+
+  // Both tenants are backlogged until their last batch: measure service
+  // over the jointly-contended prefix. DRR promises each tenant's served
+  // nodes track quantum*weight per tick within one batch + one quantum.
+  const std::uint64_t cutoff =
+      std::min(report.tenants[0].batches.back().formed_cycle,
+               report.tenants[1].batches.back().formed_cycle);
+  const double a = static_cast<double>(served_until(report, 0, cutoff));
+  const double b = static_cast<double>(served_until(report, 1, cutoff));
+  ASSERT_GT(a, 0.0);
+  ASSERT_GT(b, 0.0);
+  // Ideal ratio 3.0; slack covers the per-tenant one-batch-plus-one-
+  // quantum deviation at both ends of the interval.
+  EXPECT_GT(b / a, 2.0) << "b=" << b << " a=" << a;
+  EXPECT_LT(b / a, 4.0) << "b=" << b << " a=" << a;
+}
+
+TEST(ForestFairness, EqualWeightsSplitServiceEvenly) {
+  const CompleteBinaryTree tree(8);
+  const ModuloMapping mapping(tree, 8);
+  const ForestReport report = saturate(2, 2, 300, tree, mapping);
+  const std::uint64_t cutoff =
+      std::min(report.tenants[0].batches.back().formed_cycle,
+               report.tenants[1].batches.back().formed_cycle);
+  const double a = static_cast<double>(served_until(report, 0, cutoff));
+  const double b = static_cast<double>(served_until(report, 1, cutoff));
+  ASSERT_GT(a, 0.0);
+  EXPECT_GT(b / a, 0.75);
+  EXPECT_LT(b / a, 1.33);
+}
+
+TEST(ForestFairness, QuotaShedTenantNeverCausesAnotherTenantShed) {
+  // Tenant 0 floods a tiny kShed quota; tenant 1 runs a modest load well
+  // under its own bound. The isolation invariant: every shed verdict is
+  // attributable to the shedding tenant's own quota — tenant 1 must not
+  // shed a single request, with the shared pool enabled and contended.
+  const CompleteBinaryTree tree(7);
+  const ModuloMapping mapping(tree, 5);
+  ForestOptions fopts;
+  fopts.tick_cycles = 2;
+  fopts.global_queue_bound = 12;
+  Forest forest(fopts);
+
+  TenantOptions noisy;
+  noisy.admission.queue_bound = 2;
+  noisy.admission.overflow = OverflowPolicy::kShed;
+  noisy.batch.max_batch_nodes = 4;
+  noisy.batch.max_wait_cycles = 8;
+  forest.add_tenant(mapping, noisy);
+
+  TenantOptions steady;
+  steady.admission.queue_bound = 32;
+  steady.admission.overflow = OverflowPolicy::kShed;
+  steady.batch.max_batch_nodes = 8;
+  steady.batch.max_wait_cycles = 8;
+  forest.add_tenant(mapping, steady);
+
+  for (std::size_t i = 0; i < 200; ++i) {  // burst: all at cycle 0
+    Request r;
+    r.client = 0;
+    r.seq = i;
+    r.submit_cycle = 0;
+    r.nodes.push_back(v(i % pow2(6), 6));
+    forest.submit(0, r);
+  }
+  for (std::size_t i = 0; i < 40; ++i) {  // steady trickle
+    Request r;
+    r.client = 0;
+    r.seq = i;
+    r.submit_cycle = i * 2;
+    r.nodes.push_back(v(i % pow2(6), 6));
+    forest.submit(1, r);
+  }
+
+  const ForestReport report = forest.run();
+  EXPECT_GT(report.tenants[0].count(RequestStatus::kShed), 0u)
+      << "noisy tenant was expected to shed on its own quota";
+  EXPECT_EQ(report.tenants[1].count(RequestStatus::kShed), 0u);
+  EXPECT_EQ(report.tenants[1].count(RequestStatus::kOk), 40u);
+}
+
+TEST(ForestFairness, GlobalPoolExhaustionBlocksRatherThanSheds) {
+  // A kShed tenant whose own queue bound is generous never sheds just
+  // because the shared pool is full — pool exhaustion blocks, and the
+  // blocked callers drain once capacity frees.
+  const CompleteBinaryTree tree(7);
+  const ModuloMapping mapping(tree, 5);
+  ForestOptions fopts;
+  fopts.tick_cycles = 2;
+  fopts.global_queue_bound = 4;  // far below the offered burst
+  Forest forest(fopts);
+
+  TenantOptions topts;
+  topts.admission.queue_bound = 512;  // own quota never trips
+  topts.admission.overflow = OverflowPolicy::kShed;
+  topts.batch.max_batch_nodes = 8;
+  topts.batch.max_wait_cycles = 4;
+  forest.add_tenant(mapping, topts);
+  forest.add_tenant(mapping, topts);
+
+  for (std::uint32_t tenant = 0; tenant < 2; ++tenant) {
+    for (std::size_t i = 0; i < 100; ++i) {
+      Request r;
+      r.client = 0;
+      r.seq = i;
+      r.submit_cycle = 0;
+      r.nodes.push_back(v(i % pow2(6), 6));
+      forest.submit(tenant, r);
+    }
+  }
+  const ForestReport report = forest.run();
+  EXPECT_EQ(report.count(RequestStatus::kShed), 0u);
+  EXPECT_EQ(report.count(RequestStatus::kOk), 200u);
+}
+
+TEST(ForestFairness, ReservedShareStaysAvailableUnderGlobalPressure) {
+  // Tenant 1's reserved slice of the shared pool means a flooding tenant
+  // 0 can borrow the pool but never starve tenant 1 out of service:
+  // every tenant-1 request completes.
+  const CompleteBinaryTree tree(7);
+  const ModuloMapping mapping(tree, 5);
+  ForestOptions fopts;
+  fopts.tick_cycles = 2;
+  fopts.global_queue_bound = 8;
+  Forest forest(fopts);
+
+  TenantOptions hog;
+  hog.weight = 1;
+  hog.admission.queue_bound = 256;
+  hog.admission.overflow = OverflowPolicy::kBlock;
+  hog.batch.max_batch_nodes = 8;
+  hog.batch.max_wait_cycles = 8;
+  forest.add_tenant(mapping, hog);
+
+  TenantOptions light;
+  light.weight = 1;
+  light.admission.queue_bound = 16;
+  light.admission.overflow = OverflowPolicy::kBlock;
+  light.batch.max_batch_nodes = 4;
+  light.batch.max_wait_cycles = 4;
+  forest.add_tenant(mapping, light);
+
+  for (std::size_t i = 0; i < 300; ++i) {
+    Request r;
+    r.client = 0;
+    r.seq = i;
+    r.submit_cycle = 0;
+    r.nodes.push_back(v(i % pow2(6), 6));
+    forest.submit(0, r);
+  }
+  for (std::size_t i = 0; i < 25; ++i) {
+    Request r;
+    r.client = 0;
+    r.seq = i;
+    r.submit_cycle = 10 + i * 4;
+    r.nodes.push_back(v(i % pow2(6), 6));
+    forest.submit(1, r);
+  }
+  const ForestReport report = forest.run();
+  EXPECT_EQ(report.tenants[1].count(RequestStatus::kOk), 25u);
+  EXPECT_EQ(report.tenants[0].count(RequestStatus::kOk), 300u);
+}
+
+TEST(ForestFairness, RollupReportsReservedSharesAndBatchShares) {
+  const CompleteBinaryTree tree(6);
+  const ModuloMapping mapping(tree, 4);
+  ForestOptions fopts;
+  fopts.global_queue_bound = 10;
+  Forest forest(fopts);
+  TenantOptions a;
+  a.weight = 1;
+  TenantOptions b;
+  b.weight = 4;
+  forest.add_tenant(mapping, a);
+  forest.add_tenant(mapping, b);
+  for (std::uint32_t tenant = 0; tenant < 2; ++tenant) {
+    Request r;
+    r.client = 0;
+    r.seq = 0;
+    r.submit_cycle = 0;
+    r.nodes.push_back(v(0, 0));
+    forest.submit(tenant, r);
+  }
+  const ForestReport report = forest.run();
+  const Json* tenants = report.metrics.find("tenants");
+  ASSERT_NE(tenants, nullptr);
+  ASSERT_EQ(tenants->items().size(), 2u);
+  // Weighted reserve: 10 slots split 1:4 = 2 and 8.
+  EXPECT_EQ(tenants->items()[0].find("reserved")->as_uint(), 2u);
+  EXPECT_EQ(tenants->items()[1].find("reserved")->as_uint(), 8u);
+  double share_sum = 0.0;
+  for (const Json& row : tenants->items()) {
+    share_sum += row.find("batch_share")->as_number();
+  }
+  EXPECT_NEAR(share_sum, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace pmtree::serve

@@ -1,0 +1,203 @@
+// Metrics isolation regressions for the forest (DESIGN.md §13): each
+// tenant's ServeMetrics section lives under its own "forest.t<i>" prefix
+// and never aliases another tenant's (or the forest aggregate's)
+// instruments, and the forest-level JSON rollup survives a round trip
+// through util::Json unchanged.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pmtree/mapping/baselines.hpp"
+#include "pmtree/serve/forest.hpp"
+
+namespace pmtree::serve {
+namespace {
+
+/// Small asymmetric two-tenant forest: tenant 0 submits `a` requests,
+/// tenant 1 submits `b` — distinct counts make aliasing observable.
+void fill_forest(Forest& forest, const TreeMapping& mapping, std::size_t a,
+                 std::size_t b) {
+  forest.add_tenant(mapping);
+  forest.add_tenant(mapping);
+  const std::size_t counts[] = {a, b};
+  for (std::uint32_t tenant = 0; tenant < 2; ++tenant) {
+    for (std::size_t i = 0; i < counts[tenant]; ++i) {
+      Request r;
+      r.client = 0;
+      r.seq = i;
+      r.submit_cycle = i;
+      r.nodes.push_back(v(i % 8, 3));
+      forest.submit(tenant, r);
+    }
+  }
+}
+
+TEST(ForestMetrics, PerTenantCounterSectionsNeverAlias) {
+  const CompleteBinaryTree tree(6);
+  const ModuloMapping mapping(tree, 4);
+  Forest forest;
+  fill_forest(forest, mapping, 7, 13);
+  const ForestReport report = forest.run();
+  ASSERT_EQ(report.total_requests(), 20u);
+
+  const auto counter = [&](const std::string& name) {
+    const engine::Counter* c = forest.registry().find_counter(name);
+    return c == nullptr ? ~std::uint64_t{0} : c->value();
+  };
+  EXPECT_EQ(counter("forest.t0.submitted"), 7u);
+  EXPECT_EQ(counter("forest.t1.submitted"), 13u);
+  EXPECT_EQ(counter("forest.submitted"), 20u);
+  // Completion stays per-tenant too.
+  EXPECT_EQ(counter("forest.t0.completed"),
+            report.tenants[0].count(RequestStatus::kOk));
+  EXPECT_EQ(counter("forest.t1.completed"),
+            report.tenants[1].count(RequestStatus::kOk));
+}
+
+TEST(ForestMetrics, TenantSummariesDescribeOnlyTheirOwnTraffic) {
+  const CompleteBinaryTree tree(6);
+  const ModuloMapping mapping(tree, 4);
+  Forest forest;
+  fill_forest(forest, mapping, 5, 11);
+  const ForestReport report = forest.run();
+
+  const Json* c0 = report.tenants[0].metrics.find("counters");
+  const Json* c1 = report.tenants[1].metrics.find("counters");
+  ASSERT_NE(c0, nullptr);
+  ASSERT_NE(c1, nullptr);
+  EXPECT_EQ(c0->find("submitted")->as_uint(), 5u);
+  EXPECT_EQ(c1->find("submitted")->as_uint(), 11u);
+  // Latency histograms are disjoint: counts match each tenant's own kOk.
+  EXPECT_EQ(report.tenants[0].metrics.find("latency")->find("count")->as_uint(),
+            report.tenants[0].count(RequestStatus::kOk));
+  EXPECT_EQ(report.tenants[1].metrics.find("latency")->find("count")->as_uint(),
+            report.tenants[1].count(RequestStatus::kOk));
+}
+
+TEST(ForestMetrics, ForestAggregateEqualsTenantSums) {
+  const CompleteBinaryTree tree(6);
+  const ModuloMapping mapping(tree, 4);
+  Forest forest;
+  fill_forest(forest, mapping, 9, 4);
+  (void)forest.run();
+  const auto counter = [&](const std::string& name) {
+    const engine::Counter* c = forest.registry().find_counter(name);
+    return c == nullptr ? std::uint64_t{0} : c->value();
+  };
+  for (const char* name :
+       {"submitted", "admitted", "completed", "batches", "requested_nodes"}) {
+    const std::string n(name);
+    EXPECT_EQ(counter("forest." + n),
+              counter("forest.t0." + n) + counter("forest.t1." + n))
+        << n;
+  }
+}
+
+TEST(ForestMetrics, RollupRoundTripsThroughJson) {
+  const CompleteBinaryTree tree(6);
+  const ModuloMapping mapping(tree, 4);
+  ForestOptions fopts;
+  fopts.global_queue_bound = 6;
+  Forest forest(fopts);
+  fill_forest(forest, mapping, 6, 10);
+  const ForestReport report = forest.run();
+
+  const std::string dumped = report.metrics.dump();
+  const auto parsed = Json::parse(dumped);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dump(), dumped);
+}
+
+TEST(ForestMetrics, FullReportRoundTripsThroughJson) {
+  const CompleteBinaryTree tree(6);
+  const ModuloMapping mapping(tree, 4);
+  Forest forest;
+  fill_forest(forest, mapping, 6, 3);
+  const ForestReport report = forest.run();
+
+  const std::string dumped = report.to_json().dump(2);
+  const auto parsed = Json::parse(dumped);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dump(2), dumped);
+  EXPECT_EQ(parsed->find("tenant_count")->as_uint(), 2u);
+  EXPECT_EQ(parsed->find("requests")->as_uint(), 9u);
+}
+
+TEST(ForestMetrics, RollupCarriesPlanAndPerTenantRows) {
+  const CompleteBinaryTree tree(6);
+  const ModuloMapping mapping(tree, 4);
+  ForestOptions fopts;
+  fopts.replicas = 6;
+  Forest forest(fopts);
+  fill_forest(forest, mapping, 2, 2);
+  const ForestReport report = forest.run();
+
+  const Json* plan = report.metrics.find("plan");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->find("requested_replicas")->as_uint(), 6u);
+  const Json* tenants = report.metrics.find("tenants");
+  ASSERT_NE(tenants, nullptr);
+  ASSERT_EQ(tenants->items().size(), 2u);
+  for (const Json& row : tenants->items()) {
+    EXPECT_NE(row.find("weight"), nullptr);
+    EXPECT_NE(row.find("lanes"), nullptr);
+    EXPECT_NE(row.find("batch_share"), nullptr);
+    EXPECT_NE(row.find("metrics"), nullptr);
+  }
+  ASSERT_NE(report.metrics.find("forest"), nullptr);
+  EXPECT_NE(report.metrics.find("forest")->find("counters"), nullptr);
+}
+
+TEST(ForestMetrics, LaneEngineCountersFoldUnderTheirTenantPrefix) {
+  const CompleteBinaryTree tree(6);
+  const ModuloMapping mapping(tree, 4);
+  ForestOptions fopts;
+  fopts.replicas = 4;
+  Forest forest(fopts);
+  fill_forest(forest, mapping, 8, 8);
+  (void)forest.run();
+
+  // Every planned lane reports its engine trajectory under its tenant.
+  const CapacityPlan& plan = forest.plan();
+  std::uint64_t total_lane_requests = 0;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    for (std::uint32_t l = 0; l < plan.lanes[i]; ++l) {
+      const std::string prefix =
+          "forest.t" + std::to_string(i) + ".lane" + std::to_string(l);
+      const engine::Counter* c =
+          forest.registry().find_counter(prefix + ".requests");
+      ASSERT_NE(c, nullptr) << prefix;
+      total_lane_requests += c->value();
+    }
+    // No lane beyond the plan leaked instruments.
+    const std::string beyond = "forest.t" + std::to_string(i) + ".lane" +
+                               std::to_string(plan.lanes[i]) + ".requests";
+    EXPECT_EQ(forest.registry().find_counter(beyond), nullptr);
+  }
+  EXPECT_GT(total_lane_requests, 0u);
+}
+
+TEST(ForestMetrics, RegistryAccumulatesAcrossRuns) {
+  const CompleteBinaryTree tree(6);
+  const ModuloMapping mapping(tree, 4);
+  Forest forest(ForestOptions{});
+  forest.add_tenant(mapping);
+  forest.add_tenant(mapping);
+  for (int round = 0; round < 2; ++round) {
+    Request r;
+    r.client = 0;
+    r.seq = static_cast<std::uint64_t>(round);
+    r.submit_cycle = 0;
+    r.nodes.push_back(v(0, 0));
+    forest.submit(0, r);
+    (void)forest.run();
+  }
+  EXPECT_EQ(forest.registry().find_counter("forest.t0.submitted")->value(), 2u);
+  EXPECT_EQ(forest.registry().find_counter("forest.submitted")->value(), 2u);
+  EXPECT_EQ(forest.registry().find_counter("forest.t1.submitted")->value(), 0u);
+}
+
+}  // namespace
+}  // namespace pmtree::serve

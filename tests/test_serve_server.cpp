@@ -11,12 +11,15 @@
 
 #include "pmtree/apps/dictionary.hpp"
 #include "pmtree/apps/range_index.hpp"
+#include "pmtree/fault/plan.hpp"
 #include "pmtree/mapping/baselines.hpp"
 #include "pmtree/mapping/color.hpp"
 #include "pmtree/serve/clients.hpp"
 
 namespace pmtree::serve {
 namespace {
+
+using fault::FaultPlan;
 
 std::vector<std::int64_t> sequential_keys(std::uint32_t levels) {
   std::vector<std::int64_t> keys(pow2(levels) - 1);
@@ -210,6 +213,91 @@ TEST(Server, IdenticalSubmissionsReproduceIdenticalReports) {
   const ServeReport a = run_once();
   const ServeReport b = run_once();
   EXPECT_EQ(a.to_json().dump(), b.to_json().dump());
+}
+
+TEST(ServerRetry, RetryBudgetExhaustedExactlyAtDeadlineCycleExpires) {
+  // Edge case at the retry/deadline boundary: the single allowed retry
+  // resends at dispatch + timeout + backoff(1), and the deadline is set
+  // to exactly that cycle — the resend is dead on arrival, the request
+  // expires at precisely its deadline with its attempt budget spent.
+  const CompleteBinaryTree tree(4);
+  const ModuloMapping mapping(tree, 2);
+  // Payload: two nodes on module 0; a slowdown only lets module 0 serve
+  // every 64th cycle, so the attempt's residency far exceeds the timeout.
+  Request request;
+  request.client = 0;
+  request.seq = 0;
+  request.submit_cycle = 0;
+  request.nodes = {v(0, 0), v(1, 1)};  // ids 0 and 2: both color 0 mod 2
+
+  FaultPlan plan;
+  plan.slow_down(0, 0, 10000, 64);
+  ServerOptions opts;
+  opts.tick_cycles = 1;
+  opts.batch.max_wait_cycles = 0;
+  opts.engine.faults = &plan;
+
+  // Sanity: without retries the attempt completes, but far too slowly.
+  {
+    Server server(mapping, opts);
+    server.submit(request);
+    const ServeReport baseline = server.run();
+    ASSERT_EQ(baseline.count(RequestStatus::kOk), 1u);
+    ASSERT_GT(baseline.responses[0].completion_cycle -
+                  baseline.responses[0].dispatch_cycle,
+              5u);
+  }
+
+  opts.retry.max_retries = 1;
+  opts.retry.attempt_timeout_cycles = 5;
+  opts.retry.backoff_base_cycles = 3;
+  const std::uint64_t resend = 0 + 5 + opts.retry.backoff(1);  // cycle 8
+  request.deadline_cycles = resend;  // budget elapses exactly at resend
+
+  Server server(mapping, opts);
+  server.submit(request);
+  const ServeReport report = server.run();
+  ASSERT_EQ(report.responses.size(), 1u);
+  const Response& r = report.responses[0];
+  EXPECT_EQ(r.status, RequestStatus::kExpired);
+  EXPECT_EQ(r.retries, opts.retry.max_retries);
+  EXPECT_EQ(r.completion_cycle, resend);  // expired at the deadline, exactly
+  EXPECT_EQ(r.latency(), request.deadline_cycles);
+  EXPECT_EQ(report.rounds, 2u);
+}
+
+TEST(ServerRetry, OneCycleMoreDeadlineLetsTheFinalRetryLand) {
+  // The companion boundary: with one extra cycle of budget the resend is
+  // admitted, dispatches, and completes — the attempt budget is spent but
+  // the request finishes kOk (dispatched work is immune to the deadline).
+  const CompleteBinaryTree tree(4);
+  const ModuloMapping mapping(tree, 2);
+  Request request;
+  request.client = 0;
+  request.seq = 0;
+  request.submit_cycle = 0;
+  request.nodes = {v(0, 0), v(1, 1)};
+
+  FaultPlan plan;
+  plan.slow_down(0, 0, 10000, 64);
+  ServerOptions opts;
+  opts.tick_cycles = 1;
+  opts.batch.max_wait_cycles = 0;
+  opts.engine.faults = &plan;
+  opts.retry.max_retries = 1;
+  opts.retry.attempt_timeout_cycles = 5;
+  opts.retry.backoff_base_cycles = 3;
+  request.deadline_cycles = 0 + 5 + opts.retry.backoff(1) + 1;
+
+  Server server(mapping, opts);
+  server.submit(request);
+  const ServeReport report = server.run();
+  ASSERT_EQ(report.responses.size(), 1u);
+  const Response& r = report.responses[0];
+  EXPECT_EQ(r.status, RequestStatus::kOk);
+  EXPECT_EQ(r.retries, opts.retry.max_retries);
+  EXPECT_GT(r.completion_cycle, request.deadline_cycles);
+  EXPECT_EQ(report.rounds, 2u);
 }
 
 }  // namespace
