@@ -9,6 +9,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cctype>
+#include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -40,5 +42,35 @@ inline void print_experiment(const std::string& id, const std::string& claim,
 
 /// "0" / "<=1" style verdict cell.
 inline std::string pass_cell(bool ok) { return ok ? "PASS" : "FAIL"; }
+
+/// True when the experiment's smoke toggle (e.g. "PMTREE_E19_SMOKE") is
+/// set to anything but "0" — the perf-smoke ctest entries run each bench
+/// in reduced dimensions through this one switch.
+inline bool smoke_mode(const char* env_var) {
+  const char* env = std::getenv(env_var);
+  return env != nullptr && std::string(env) != "0";
+}
+
+/// The smoke-vs-full dimensions shared by the single-tree serving benches
+/// (E19 faults-free, E20 faulted, E22 pipeline): one place to retune the
+/// perf-smoke footprint for all of them, so the gates stay comparable.
+struct ServeBenchDims {
+  std::uint32_t tree_levels;
+  std::uint32_t modules;
+  std::size_t requests;
+  int reps;  ///< best-of-N wall-clock repetitions (CI boxes are noisy)
+};
+
+inline ServeBenchDims serve_bench_dims(bool smoke) {
+  return smoke ? ServeBenchDims{12, 15, 2000, 2}
+               : ServeBenchDims{16, 31, 20000, 7};
+}
+
+/// E21's multi-tenant variant: shallower trees, per-tenant request
+/// counts.
+inline ServeBenchDims forest_bench_dims(bool smoke) {
+  return smoke ? ServeBenchDims{10, 15, 600, 2}
+               : ServeBenchDims{13, 31, 6000, 3};
+}
 
 }  // namespace pmtree::bench

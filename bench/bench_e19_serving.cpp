@@ -43,15 +43,20 @@ namespace {
 using namespace pmtree;
 using namespace pmtree::serve;
 
-bool smoke_mode() {
-  const char* env = std::getenv("PMTREE_E19_SMOKE");
-  return env != nullptr && std::string(env) != "0";
-}
+bool smoke_mode() { return bench::smoke_mode("PMTREE_E19_SMOKE"); }
 
-std::uint32_t tree_levels() { return smoke_mode() ? 12 : 16; }
-std::uint32_t module_count() { return smoke_mode() ? 15 : 31; }
-std::size_t request_count() { return smoke_mode() ? 2000 : 20000; }
-int reps() { return smoke_mode() ? 2 : 3; }
+// Dimensions shared with E20/E22 (bench_common.hpp) so the serving gates
+// stay comparable.
+std::uint32_t tree_levels() {
+  return bench::serve_bench_dims(smoke_mode()).tree_levels;
+}
+std::uint32_t module_count() {
+  return bench::serve_bench_dims(smoke_mode()).modules;
+}
+std::size_t request_count() {
+  return bench::serve_bench_dims(smoke_mode()).requests;
+}
+int reps() { return bench::serve_bench_dims(smoke_mode()).reps; }
 
 /// The request mix of a tree index front-end: mostly speculative
 /// root-to-leaf path lookups (dictionary searches), some sibling-pair

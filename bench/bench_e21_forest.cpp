@@ -48,15 +48,20 @@ namespace {
 using namespace pmtree;
 using namespace pmtree::serve;
 
-bool smoke_mode() {
-  const char* env = std::getenv("PMTREE_E21_SMOKE");
-  return env != nullptr && std::string(env) != "0";
-}
+bool smoke_mode() { return bench::smoke_mode("PMTREE_E21_SMOKE"); }
 
-std::uint32_t tree_levels() { return smoke_mode() ? 10 : 13; }
-std::uint32_t module_count() { return smoke_mode() ? 15 : 31; }
-std::size_t per_tenant_requests() { return smoke_mode() ? 600 : 6000; }
-int reps() { return smoke_mode() ? 2 : 3; }
+// Multi-tenant dimensions from bench_common.hpp (the forest variant of
+// the shared serving dims).
+std::uint32_t tree_levels() {
+  return bench::forest_bench_dims(smoke_mode()).tree_levels;
+}
+std::uint32_t module_count() {
+  return bench::forest_bench_dims(smoke_mode()).modules;
+}
+std::size_t per_tenant_requests() {
+  return bench::forest_bench_dims(smoke_mode()).requests;
+}
+int reps() { return bench::forest_bench_dims(smoke_mode()).reps; }
 
 /// Equal-size requests (one full root-to-leaf path each) so request
 /// counts and node credits coincide — fairness shares read off directly.

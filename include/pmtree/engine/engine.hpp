@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -148,5 +149,23 @@ class CycleEngine {
   MetricsRegistry* metrics_;
   std::string prefix_;
 };
+
+namespace detail {
+
+/// The healthy simulation core over pre-resolved colors: access i's
+/// requests are colors[first[i]] .. colors[first[i+1]-1] and route to
+/// those modules verbatim. CycleEngine::run flattens + color-resolves and
+/// calls this; EngineSession::drain (session.hpp) accumulates the same
+/// arrays incrementally and calls it too — one loop, so the two entry
+/// points are bit-identical by construction. `options.faults` must be
+/// null or empty (the degraded loop needs nodes for rerouting and lives
+/// in engine.cpp).
+[[nodiscard]] EngineResult run_resolved(std::uint32_t modules,
+                                        std::span<const std::size_t> first,
+                                        std::span<const Color> colors,
+                                        const ArrivalSchedule& schedule,
+                                        const EngineOptions& options);
+
+}  // namespace detail
 
 }  // namespace pmtree::engine

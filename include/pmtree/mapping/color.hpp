@@ -200,13 +200,10 @@ class EagerColorMapping final : public TreeMapping {
   [[nodiscard]] Color color_of(Node n) const override {
     return table_[bfs_id(n)];
   }
-  /// Devirtualized table gather.
+  /// Devirtualized table gather; runs the AVX2 gather kernel when the
+  /// table is small enough for 32-bit indices (trees up to 31 levels).
   void color_of_batch(std::span<const Node> nodes,
-                      std::span<Color> out) const override {
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-      out[i] = table_[bfs_id(nodes[i])];
-    }
-  }
+                      std::span<Color> out) const override;
   [[nodiscard]] std::uint32_t num_modules() const noexcept override {
     return modules_;
   }

@@ -78,6 +78,7 @@ class AdmissionController {
     if (expired_at(request.submit_cycle, request.deadline_cycles, now)) {
       return Decision::kDeadOnArrival;
     }
+    if (request.deadline_cycles != 0) saw_deadline_ = true;
     QueuedRequest q{index, request.submit_cycle, request.deadline_cycles, now,
                     &request.nodes};
     if (pending_.size() < options_.queue_bound) {
@@ -99,6 +100,10 @@ class AdmissionController {
   /// first (FIFO order), then blocked — whose budget has elapsed, and
   /// appends their canonical indices to `expired`.
   void expire(std::uint64_t now, std::vector<std::size_t>& expired) {
+    // One-way latch: until some offered request has carried a nonzero
+    // deadline, no queued entry can ever expire, and the per-tick queue
+    // scans (2 per tick per tenant, forever) are pure overhead.
+    if (!saw_deadline_) return;
     sweep(pending_, now, expired, /*count_nodes=*/true);
     sweep(blocked_, now, expired, /*count_nodes=*/false);
   }
@@ -171,6 +176,18 @@ class AdmissionController {
 
   void sweep(std::deque<QueuedRequest>& queue, std::uint64_t now,
              std::vector<std::size_t>& expired, bool count_nodes) {
+    // The sweep runs every tick on every tenant; the common case — nothing
+    // expired — must not churn a rebuilt deque (two deque constructions
+    // per tick dominated the serve profile). Scan first, rebuild only on
+    // an actual expiry.
+    bool any = false;
+    for (const QueuedRequest& q : queue) {
+      if (expired_at(q.submit_cycle, q.deadline_cycles, now)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return;
     std::deque<QueuedRequest> keep;
     for (const QueuedRequest& q : queue) {
       if (expired_at(q.submit_cycle, q.deadline_cycles, now)) {
@@ -187,6 +204,8 @@ class AdmissionController {
   std::deque<QueuedRequest> pending_;
   std::deque<QueuedRequest> blocked_;
   std::uint64_t pending_node_count_ = 0;
+  /// Set once a deadline-bearing request is offered; gates expire().
+  bool saw_deadline_ = false;
 };
 
 }  // namespace pmtree::serve

@@ -95,6 +95,15 @@ class BatchFormer {
   [[nodiscard]] FormedBatch form_one(std::uint64_t now,
                                      AdmissionController& controller);
 
+  /// The fill walk of form_one() without the coalescing step: `nodes` is
+  /// left as the raw member concatenation and `decomposition` empty. The
+  /// staged pipeline cuts batches with this on the control plane and runs
+  /// coalesce() in its resolve stage, off the control thread;
+  /// form_one() == form_one_raw() + coalesce on the node set. Membership,
+  /// ids, costs and admission bookkeeping are identical.
+  [[nodiscard]] FormedBatch form_one_raw(std::uint64_t now,
+                                         AdmissionController& controller);
+
   /// The coalescing kernel, exposed for direct testing: sorts `nodes` in
   /// (level, index) order, removes duplicates in place, and returns the
   /// C(D, c) whose parts are the maximal per-level runs of what remains.

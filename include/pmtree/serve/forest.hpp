@@ -50,6 +50,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -61,6 +62,7 @@
 #include "pmtree/serve/batch.hpp"
 #include "pmtree/serve/fair.hpp"
 #include "pmtree/serve/metrics.hpp"
+#include "pmtree/serve/pipeline.hpp"
 #include "pmtree/serve/request.hpp"
 #include "pmtree/serve/server.hpp"
 #include "pmtree/util/json.hpp"
@@ -107,6 +109,10 @@ struct ForestOptions {
   std::size_t global_queue_bound = 0;
   /// Node-credits a weight-1 tenant accrues per tick (0 behaves as 1).
   std::uint64_t drr_quantum_nodes = 32;
+  /// Staged pipeline execution (pipeline.hpp); same contract as
+  /// ServerOptions::pipeline. Forests where any tenant carries a fault
+  /// plan always take the oracle path.
+  PipelineOptions pipeline;
 };
 
 /// One tenant's view of a finished run: responses in canonical
@@ -197,6 +203,9 @@ class Forest {
 
   void ensure_plan();
   [[nodiscard]] std::vector<Submitted> drain_inboxes();
+  /// Staged-pipeline twin of run() (defined in pipeline.cpp); dispatched
+  /// to when options_.pipeline.enabled() and no tenant has a fault plan.
+  [[nodiscard]] ForestReport run_pipeline();
 
   ForestOptions options_;
   std::vector<Tenant> tenants_;
@@ -204,6 +213,9 @@ class Forest {
   bool planned_ = false;
   engine::MetricsRegistry registry_;
   std::array<Inbox, kStripes> inboxes_;
+  /// Lazily built on the first pipelined run (one lane per capacity-plan
+  /// lane), then reused across run() calls.
+  std::unique_ptr<StagedRunner> runner_;
 };
 
 }  // namespace pmtree::serve

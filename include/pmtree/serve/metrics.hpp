@@ -60,6 +60,12 @@ class ServeMetrics {
   /// latency histogram — the tail the fault injection bought.
   void on_completed(const Response& response);
 
+  /// Attaches the staged pipeline's stage-attribution snapshot
+  /// (StagedRunner::stats — stage nanoseconds, barrier wait, batches in
+  /// flight, active SIMD kernel). summary() emits it as a "pipeline"
+  /// section only when set, so oracle runs keep their exact JSON shape.
+  void set_pipeline(Json stats) { pipeline_ = std::move(stats); }
+
   /// SLO snapshot:
   ///   {"latency": {"count","p50","p95","p99","p999","mean","max"},
   ///    "queue_wait": {...same shape...},
@@ -98,6 +104,7 @@ class ServeMetrics {
   engine::Histogram* batch_nodes_;
   engine::Histogram* batch_requests_;
   engine::Histogram* retried_latency_;
+  Json pipeline_;  ///< null unless set_pipeline() was called
 };
 
 }  // namespace pmtree::serve

@@ -57,6 +57,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -67,6 +68,7 @@
 #include "pmtree/serve/admission.hpp"
 #include "pmtree/serve/batch.hpp"
 #include "pmtree/serve/metrics.hpp"
+#include "pmtree/serve/pipeline.hpp"
 #include "pmtree/serve/request.hpp"
 #include "pmtree/util/json.hpp"
 
@@ -130,6 +132,13 @@ struct ServerOptions {
   /// resulting reroute/stall counters into its metrics and, with a
   /// RetryPolicy, turns fault-inflated residencies into retries.
   engine::EngineOptions engine;
+  /// Staged pipeline execution (pipeline.hpp). `pipeline.workers >= 1`
+  /// routes run() through the StagedRunner — responses stay bit-identical
+  /// to the classic loop at every worker count; `workers == 0` (default)
+  /// keeps the single-threaded tick loop, which doubles as the frozen
+  /// differential oracle. Faulted configurations (`engine.faults`
+  /// non-empty) always take the oracle path regardless of this setting.
+  PipelineOptions pipeline;
 };
 
 /// Everything one run() observed, in canonical / dispatch order.
@@ -190,11 +199,19 @@ class Server {
   };
 
   [[nodiscard]] std::vector<Request> drain_inboxes();
+  /// The staged-pipeline twin of run() (defined in pipeline.cpp): same
+  /// control-plane decisions, batch execution handed to the persistent
+  /// StagedRunner. run() dispatches here when options_.pipeline.enabled()
+  /// and the engine options carry no fault plan.
+  [[nodiscard]] ServeReport run_pipeline();
 
   const TreeMapping& mapping_;
   ServerOptions options_;
   engine::MetricsRegistry registry_;
   std::array<Inbox, kStripes> inboxes_;
+  /// Lazily built on the first pipelined run, then reused: the worker
+  /// pool stays warm across run() calls.
+  std::unique_ptr<StagedRunner> runner_;
 };
 
 }  // namespace pmtree::serve

@@ -22,6 +22,9 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <span>
+
+#include "pmtree/util/simd.hpp"
 
 namespace pmtree::engine {
 
@@ -293,22 +296,11 @@ EngineResult CycleEngine::run(const Workload& workload,
     }
     return result;
   }
-  const std::uint32_t modules = mapping_.num_modules();
-  const std::size_t n = workload.size();
-  // Arena entries are 32-bit access ids; a workload that large could not
-  // be materialized in memory anyway.
-  assert(n < std::numeric_limits<std::uint32_t>::max());
-
-  EngineResult result;
-  result.accesses = n;
-  result.served.assign(modules, 0);
-  result.queue_high_water.assign(modules, 0);
-  result.records.resize(n);
-
   // Resolve every access's colors once up front through the batch kernel —
   // one virtual call for the whole workload, and ColorMapping amortizes
   // its inheritance chase across it (see mapping/color.hpp). `first[i]`
   // slices the flat color array per access.
+  const std::size_t n = workload.size();
   std::vector<Node> flat;
   std::vector<std::size_t> first(n + 1, 0);
   for (std::size_t i = 0; i < n; ++i) {
@@ -319,12 +311,112 @@ EngineResult CycleEngine::run(const Workload& workload,
   std::vector<Color> colors(flat.size());
   mapping_.color_of_batch(flat, colors);
 
+  EngineResult result = detail::run_resolved(mapping_.num_modules(), first,
+                                             colors, schedule, options);
+
+  if (metrics_ != nullptr) export_metrics(*metrics_, prefix_, result);
+  return result;
+}
+
+namespace detail {
+
+EngineResult run_resolved(const std::uint32_t modules,
+                          std::span<const std::size_t> first,
+                          std::span<const Color> colors,
+                          const ArrivalSchedule& schedule,
+                          const EngineOptions& options) {
+  assert(options.faults == nullptr || options.faults->empty());
+  const std::size_t n = first.size() - 1;
+  // Arena entries are 32-bit access ids; a workload that large could not
+  // be materialized in memory anyway.
+  assert(n < std::numeric_limits<std::uint32_t>::max());
+
+  EngineResult result;
+  result.accesses = n;
+  result.served.assign(modules, 0);
+  result.queue_high_water.assign(modules, 0);
+  result.records.resize(n);
+
+  // Open-loop, no depth sampling: the cycle loop collapses to a per-entry
+  // recurrence. Each module is a unit-rate FIFO, so entry k of module m
+  // (pushed at arrival a_k) is served at s_k = max(a_k, s_{k-1}) + 1 —
+  // while m is backlogged its serve cycles are consecutive, and a fresh
+  // push on an idle module starts at a_k + 1. Everything the general loop
+  // produces is a closed form of those serve cycles:
+  //   completion  = max over the access's entries' serve cycles;
+  //   served[m]   = entries routed to m;
+  //   high-water  = s_k - a_k (pending serve cycles at a push are exactly
+  //                 a_k+1 .. s_k, so that difference IS the queue depth);
+  //   busy_cycles = |union over accesses of [arrival+1, completion]| — a
+  //                 cycle is busy iff some access is in flight, and the
+  //                 intervals arrive in nondecreasing-start order, so the
+  //                 union folds into one running interval.
+  // The depth histogram stays empty (kOff records nothing), which is why
+  // sampling modes keep the general loop below. O(total entries), no
+  // arena, no per-cycle scans — this is the serve pipeline's drain path.
+  if (!schedule.closed_loop() &&
+      options.sampling == EngineOptions::DepthSampling::kOff) {
+    std::vector<std::uint64_t> last_serve(modules, 0);
+    std::uint64_t busy_lo = 0;
+    std::uint64_t busy_hi = 0;
+    bool busy_open = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t a = schedule.arrival_cycle(i);
+      const std::size_t lo = first[i];
+      const std::size_t hi = first[i + 1];
+      AccessRecord& rec = result.records[i];
+      rec.id = i;
+      rec.requests = hi - lo;
+      rec.arrival = a;
+      result.requests += hi - lo;
+      if (lo == hi) {
+        rec.completion = a;
+      } else {
+        std::uint64_t comp = 0;
+        for (std::size_t r = lo; r < hi; ++r) {
+          const Color m = colors[r];
+          const std::uint64_t s = std::max(a, last_serve[m]) + 1;
+          last_serve[m] = s;
+          result.served[m] += 1;
+          result.queue_high_water[m] =
+              std::max(result.queue_high_water[m], s - a);
+          comp = std::max(comp, s);
+        }
+        rec.completion = comp;
+        if (!busy_open) {
+          busy_open = true;
+          busy_lo = a + 1;
+          busy_hi = comp;
+        } else if (a + 1 > busy_hi) {
+          result.busy_cycles += busy_hi - busy_lo + 1;
+          busy_lo = a + 1;
+          busy_hi = comp;
+        } else {
+          busy_hi = std::max(busy_hi, comp);
+        }
+      }
+      result.latency.record(rec.latency());
+      result.completion_cycle =
+          std::max(result.completion_cycle, rec.completion);
+    }
+    if (busy_open) result.busy_cycles += busy_hi - busy_lo + 1;
+    return result;
+  }
+
   // Flat arena queues: module m's FIFO is arena[qbase[m], qbase[m+1]), a
-  // segment sized to the exact number of requests the run routes to m
-  // (known from the resolved colors), so push/pop are bump pointers that
-  // never wrap or allocate — one allocation replaces per-module deques.
+  // segment sized to the exact number of requests the run routes to m —
+  // the conflict histogram of the resolved colors (SIMD-accelerated; see
+  // util/simd.hpp) — so push/pop are bump pointers that never wrap or
+  // allocate: one allocation replaces per-module deques.
   std::vector<std::size_t> qbase(modules + 1, 0);
-  for (const Color c : colors) qbase[c + 1] += 1;
+  if (colors.size() < std::numeric_limits<std::uint32_t>::max()) {
+    std::vector<std::uint32_t> counts(modules);
+    simd::conflict_histogram(colors.data(), colors.size(), counts.data(),
+                             modules);
+    for (std::uint32_t m = 0; m < modules; ++m) qbase[m + 1] = counts[m];
+  } else {
+    for (const Color c : colors) qbase[c + 1] += 1;
+  }
   for (std::uint32_t m = 0; m < modules; ++m) qbase[m + 1] += qbase[m];
   std::vector<std::uint32_t> arena(colors.size());
   std::vector<std::size_t> head(qbase.begin(), qbase.end() - 1);
@@ -360,14 +452,14 @@ EngineResult CycleEngine::run(const Workload& workload,
   };
 
   const auto admit = [&](std::size_t i, std::uint64_t cycle) {
-    const Workload::Access& access = workload[i];
+    const std::size_t size = first[i + 1] - first[i];
     AccessRecord& rec = result.records[i];
     rec.id = i;
-    rec.requests = access.size();
+    rec.requests = size;
     rec.arrival = cycle;
-    result.requests += access.size();
-    outstanding[i] = static_cast<std::uint32_t>(access.size());
-    if (access.empty()) {
+    result.requests += size;
+    outstanding[i] = static_cast<std::uint32_t>(size);
+    if (size == 0) {
       // Nothing to fetch: completes the cycle it arrives, latency 0.
       rec.completion = cycle;
       complete(rec);
@@ -494,9 +586,9 @@ EngineResult CycleEngine::run(const Workload& workload,
   }
 
   if (zero_samples != 0) result.queue_depth.record(0, zero_samples);
-
-  if (metrics_ != nullptr) export_metrics(*metrics_, prefix_, result);
   return result;
 }
+
+}  // namespace detail
 
 }  // namespace pmtree::engine

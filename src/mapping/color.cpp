@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "pmtree/util/simd.hpp"
+
 namespace pmtree {
 
 namespace {
@@ -215,12 +217,18 @@ void ColorMapping::color_of_batch(std::span<const Node> nodes,
   if (nodes.empty()) return;
   const BatchAccel& acc = accel();
 
-  // Whole tree above the horizon: pure table gather.
+  // Whole tree above the horizon: pure table gather. BFS ids fit 32 bits
+  // (top_levels is capped at 20), so the lookup vectorizes: materialize the
+  // indices once, then one AVX2 gather sweep over the top table.
   if (acc.top_levels >= tree().levels()) {
+    thread_local std::vector<std::uint32_t> ids;
+    ids.resize(nodes.size());
     for (std::size_t i = 0; i < nodes.size(); ++i) {
       assert(tree().contains(nodes[i]));
-      out[i] = acc.top_colors[bfs_id(nodes[i])];
+      ids[i] = static_cast<std::uint32_t>(bfs_id(nodes[i]));
     }
+    simd::gather_u32(acc.top_colors.data(), ids.data(), nodes.size(),
+                     out.data());
     return;
   }
 
@@ -250,7 +258,7 @@ void ColorMapping::color_of_batch(std::span<const Node> nodes,
     const Step* steps = acc.steps.data();
     const std::uint32_t top = acc.top_levels;
 
-    thread_local std::vector<std::uint64_t> term;
+    thread_local std::vector<std::uint32_t> term;
     term.resize(nodes.size());
 
     for (std::size_t i = 0; i < nodes.size(); ++i) {
@@ -265,13 +273,13 @@ void ColorMapping::color_of_batch(std::span<const Node> nodes,
         lvl = static_cast<std::uint32_t>(root_of[lvl] + s.dlevel);
         idx = ((ib >> s.rshift) << s.lshift) + s.add;
       }
-      term[i] = pow2(lvl) - 1 + idx;
+      // Terminal BFS id: lvl < top <= 20, so it fits 32 bits and the
+      // gather phase can run the AVX2 kernel.
+      term[i] = static_cast<std::uint32_t>(pow2(lvl) - 1 + idx);
     }
 
-    const Color* top_colors = acc.top_colors.data();
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-      out[i] = top_colors[term[i]];
-    }
+    simd::gather_u32(acc.top_colors.data(), term.data(), nodes.size(),
+                     out.data());
     return;
   }
 
@@ -407,6 +415,26 @@ EagerColorMapping::EagerColorMapping(const ColorMapping& base)
       table_(base.materialize()),
       modules_(base.num_modules()),
       base_name_(base.name()) {}
+
+void EagerColorMapping::color_of_batch(std::span<const Node> nodes,
+                                       std::span<Color> out) const {
+  assert(out.size() >= nodes.size());
+  // The AVX2 gather consumes indices as signed 32-bit lane offsets, so it
+  // only applies while every BFS id fits 31 bits (trees up to 31 levels);
+  // taller trees keep the scalar sweep.
+  if (table_.size() < (std::uint64_t{1} << 31)) {
+    thread_local std::vector<std::uint32_t> ids;
+    ids.resize(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      ids[i] = static_cast<std::uint32_t>(bfs_id(nodes[i]));
+    }
+    simd::gather_u32(table_.data(), ids.data(), nodes.size(), out.data());
+    return;
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    out[i] = table_[bfs_id(nodes[i])];
+  }
+}
 
 std::string EagerColorMapping::name() const { return base_name_ + "+table"; }
 

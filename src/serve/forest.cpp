@@ -135,6 +135,18 @@ const CapacityPlan& Forest::plan() {
 }
 
 ForestReport Forest::run() {
+  // Staged-pipeline dispatch (pipeline.cpp). The body below is the
+  // frozen single-threaded oracle; any tenant with a fault plan keeps
+  // the whole forest here (EngineSession is healthy-path only).
+  if (options_.pipeline.enabled()) {
+    bool healthy = true;
+    for (const Tenant& tenant : tenants_) {
+      healthy = healthy && (tenant.options.engine.faults == nullptr ||
+                            tenant.options.engine.faults->empty());
+    }
+    if (healthy) return run_pipeline();
+  }
+
   ensure_plan();
   const std::size_t N = tenants_.size();
   const std::uint64_t T = options_.tick_cycles;

@@ -115,6 +115,7 @@ Json ServeMetrics::summary() const {
   j.set("counters", counters);
   j.set("queues", queues);
   j.set("faults", faults);
+  if (!pipeline_.is_null()) j.set("pipeline", pipeline_);
   return j;
 }
 

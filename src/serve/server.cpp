@@ -73,6 +73,16 @@ std::vector<Request> Server::drain_inboxes() {
 }
 
 ServeReport Server::run() {
+  // Staged-pipeline dispatch (pipeline.cpp). The body below is the
+  // frozen single-threaded oracle the pipeline is differentially tested
+  // against — faulted engine configurations always run here (the
+  // degraded engine loop needs nodes for rerouting; EngineSession is
+  // healthy-path only).
+  if (options_.pipeline.enabled() &&
+      (options_.engine.faults == nullptr || options_.engine.faults->empty())) {
+    return run_pipeline();
+  }
+
   // ---- Canonical order: a pure function of the submitted set. ---------
   std::vector<Request> requests = drain_inboxes();
   std::stable_sort(requests.begin(), requests.end(),

@@ -22,7 +22,14 @@
 # ConcurrentSubmissionMatchesSequential and runs every differential
 # config's lane execution at 1/2/8 workers — a race in the shared-pool
 # admission, the DRR batch formation, or the per-tenant lane fold shows
-# up as a TSan report and as a divergence from the 1-worker oracle).
+# up as a TSan report and as a divergence from the 1-worker oracle), and
+# the staged serve pipeline (test_serve_pipeline drives StagedRunner's
+# SPSC token rings, ready-flag handoff, overflow spill/pump, and round
+# barrier at 1/2/8 pipeline workers against the frozen tick-loop oracle —
+# a race in the ring cursors, the pooled token reuse, the resolve/execute
+# ordering edge, or the barrier handshake shows up as a TSan report and
+# as a bit-identity mismatch; the `pipeline` ctest label selects the
+# suite on its own).
 #
 #   tests/run_sanitizers.sh             # all three sanitizers, full suite
 #   tests/run_sanitizers.sh tsan        # one sanitizer

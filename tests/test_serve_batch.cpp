@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "pmtree/serve/admission.hpp"
@@ -312,6 +314,143 @@ TEST(BatchFormer, FormIsEquivalentToDueGatedFormOneLoop) {
     }
   }
   EXPECT_EQ(bulk_admission.pending_count(), metered_admission.pending_count());
+}
+
+TEST(BatchFormer, FormOneIsFormOneRawPlusCoalesce) {
+  // The staged pipeline cuts with form_one_raw() on the control plane and
+  // coalesces on a worker; the oracle cuts with form_one(). Same queue,
+  // both drains: identical ids, membership, stamps, cost accounting and
+  // (after coalescing the raw node set) identical node unions and
+  // decompositions.
+  const std::vector<Request> requests{
+      make_request(0, 0, {v(2, 3), v(3, 3), v(2, 3)}),  // duplicate inside
+      make_request(1, 0, {v(5, 3), v(4, 3)}),           // out of order
+      make_request(2, 0, {}),
+      make_request(3, 0, {v(0, 1), v(0, 0)}),
+  };
+  AdmissionController oracle_admission(AdmissionOptions{});
+  AdmissionController raw_admission(AdmissionOptions{});
+  const BatchPolicy policy{.max_batch_nodes = 5, .max_wait_cycles = 0};
+  BatchFormer oracle(policy);
+  BatchFormer raw(policy);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_EQ(oracle_admission.offer(i, requests[i], 0),
+              AdmissionController::Decision::kAdmitted);
+    ASSERT_EQ(raw_admission.offer(i, requests[i], 0),
+              AdmissionController::Decision::kAdmitted);
+  }
+  while (oracle.due(0, oracle_admission)) {
+    ASSERT_TRUE(raw.due(0, raw_admission));
+    const FormedBatch want = oracle.form_one(0, oracle_admission);
+    FormedBatch got = raw.form_one_raw(0, raw_admission);
+    EXPECT_EQ(got.id, want.id);
+    EXPECT_EQ(got.formed_cycle, want.formed_cycle);
+    EXPECT_EQ(got.members, want.members);
+    EXPECT_EQ(got.requested_nodes, want.requested_nodes);
+    // Raw leaves the fill-order node list (duplicates included) and an
+    // empty decomposition; coalescing finishes the job.
+    EXPECT_EQ(got.nodes.size(), got.requested_nodes);
+    EXPECT_EQ(got.decomposition.component_count(), 0u);
+    got.decomposition = BatchFormer::coalesce(got.nodes);
+    EXPECT_EQ(got.nodes, want.nodes);
+    EXPECT_EQ(got.decomposition.nodes(), want.decomposition.nodes());
+    EXPECT_EQ(got.decomposition.component_count(),
+              want.decomposition.component_count());
+    EXPECT_EQ(raw_admission.pending_count(), oracle_admission.pending_count());
+    EXPECT_EQ(raw_admission.pending_node_count(),
+              oracle_admission.pending_node_count());
+  }
+  EXPECT_FALSE(raw.due(0, raw_admission));
+}
+
+/// Independent reference for coalesce(): Node-struct sort, dedup, maximal
+/// same-level consecutive runs.
+void expect_coalesce_matches_reference(std::vector<Node> nodes) {
+  std::vector<Node> want = nodes;
+  std::sort(want.begin(), want.end());
+  want.erase(std::unique(want.begin(), want.end()), want.end());
+  std::vector<std::pair<Node, std::uint64_t>> runs;
+  std::size_t i = 0;
+  while (i < want.size()) {
+    std::size_t j = i + 1;
+    while (j < want.size() && want[j].level == want[i].level &&
+           want[j].index == want[i].index + (j - i)) {
+      ++j;
+    }
+    runs.emplace_back(want[i], j - i);
+    i = j;
+  }
+
+  const CompositeInstance c = BatchFormer::coalesce(nodes);
+  ASSERT_EQ(nodes, want);
+  ASSERT_EQ(c.component_count(), runs.size());
+  for (std::size_t k = 0; k < runs.size(); ++k) {
+    const auto* run = c.parts()[k].get_if<LevelRunInstance>();
+    ASSERT_NE(run, nullptr) << k;
+    EXPECT_EQ(run->first, runs[k].first) << k;
+    EXPECT_EQ(run->size, runs[k].second) << k;
+  }
+}
+
+/// Raw Node constructor: coalesce() is a pure function of (level, index)
+/// pairs, so the borderline inputs below deliberately sidestep v()'s
+/// index-fits-the-level assertion (deep q-ary / array-backed trees mint
+/// coordinates complete binary trees cannot).
+Node raw_node(std::uint64_t index, std::uint32_t level) {
+  return Node{level, index};
+}
+
+TEST(BatchCoalesce, PackedFastPathAndFallbackAgreeWithReference) {
+  // Packable inputs (level < 2^16, index < 2^48) take the sorted-u64
+  // fast path; any node beyond either bound falls back to the Node-struct
+  // sort. Both must implement the same function — pinned here against an
+  // independent reference, including the exact packability borders.
+  const std::uint64_t kMaxPackedIndex = (std::uint64_t{1} << 48) - 1;
+  const std::uint32_t kMaxPackedLevel = (std::uint32_t{1} << 16) - 1;
+
+  // Packed path, borderline values included: runs at the top of the
+  // packable index range must not carry into the level bits.
+  expect_coalesce_matches_reference(
+      {raw_node(kMaxPackedIndex, kMaxPackedLevel),
+       raw_node(kMaxPackedIndex - 1, 7), raw_node(kMaxPackedIndex, 7),
+       raw_node(0, kMaxPackedLevel), raw_node(1, 2), raw_node(2, 2),
+       raw_node(1, 2)});
+
+  // Fallback: a level past the packable range...
+  expect_coalesce_matches_reference(
+      {raw_node(3, kMaxPackedLevel + 1), raw_node(2, kMaxPackedLevel + 1),
+       raw_node(5, 3), raw_node(4, 3), raw_node(4, 3)});
+  // ...and an index past it.
+  expect_coalesce_matches_reference(
+      {raw_node(kMaxPackedIndex + 1, 60), raw_node(kMaxPackedIndex + 2, 60),
+       raw_node(kMaxPackedIndex + 1, 60), raw_node(0, 0)});
+
+  // One unpackable node poisons the whole batch onto the fallback; the
+  // packable majority must still coalesce identically.
+  expect_coalesce_matches_reference(
+      {raw_node(8, 5), raw_node(9, 5), raw_node(10, 5),
+       raw_node(kMaxPackedIndex + 7, 50), raw_node(8, 5)});
+}
+
+TEST(BatchCoalesce, RandomizedPackedInputsMatchReference) {
+  // Dense random draws force long runs, duplicate collapses and
+  // cross-level adjacency through the packed path.
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  const auto next = [&state](std::uint64_t bound) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state % bound;
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Node> nodes;
+    const std::size_t count = next(40);
+    for (std::size_t k = 0; k < count; ++k) {
+      const std::uint32_t level = static_cast<std::uint32_t>(next(4));
+      nodes.push_back(raw_node(next(12), level));
+    }
+    expect_coalesce_matches_reference(std::move(nodes));
+  }
 }
 
 TEST(BatchFormer, NextBatchCostIsZeroOnlyForEmptyOrAllEmptyQueues) {
