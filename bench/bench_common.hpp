@@ -8,13 +8,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "pmtree/util/table.hpp"
 
@@ -49,6 +53,44 @@ inline std::string pass_cell(bool ok) { return ok ? "PASS" : "FAIL"; }
 inline bool smoke_mode(const char* env_var) {
   const char* env = std::getenv(env_var);
   return env != nullptr && std::string(env) != "0";
+}
+
+/// Warmed, median-of-N wall-clock measurement for the comparison tables
+/// (E19/E22/E23 ratios on a noisy shared 1-CPU host). `warmup` untimed
+/// runs of `body` populate caches/allocators/thread pools, then `trials`
+/// timed runs are taken and the MEDIAN wall-seconds returned — the
+/// best-of-N idiom the serving benches used before is biased low under
+/// scheduler jitter, which inflates A/B ratios when A and B are hit
+/// unevenly; the median is the standard robust estimator here. `trials`
+/// of 0 behaves as 1.
+/// The `setup` callback runs UNTIMED before every body invocation
+/// (warmup included) — the place for request submission and for tearing
+/// down the previous trial's buffers, so the timed window bills the
+/// measured call alone.
+template <typename Setup, typename Fn>
+inline double median_wall_seconds(int warmup, int trials, Setup&& setup,
+                                  Fn&& body) {
+  using Clock = std::chrono::steady_clock;
+  for (int i = 0; i < warmup; ++i) {
+    setup();
+    body();
+  }
+  std::vector<double> wall;
+  wall.reserve(static_cast<std::size_t>(std::max(trials, 1)));
+  for (int i = 0; i < std::max(trials, 1); ++i) {
+    setup();
+    const Clock::time_point start = Clock::now();
+    body();
+    wall.push_back(std::chrono::duration<double>(Clock::now() - start)
+                       .count());
+  }
+  std::sort(wall.begin(), wall.end());
+  return wall[wall.size() / 2];
+}
+
+template <typename Fn>
+inline double median_wall_seconds(int warmup, int trials, Fn&& body) {
+  return median_wall_seconds(warmup, trials, [] {}, std::forward<Fn>(body));
 }
 
 /// The smoke-vs-full dimensions shared by the single-tree serving benches

@@ -139,24 +139,23 @@ struct RunOutcome {
   double wall_seconds = 0;
 };
 
-/// Best-of-N wall time of run() only; the server (and its warm runner,
-/// when pipelined) is constructed once and reused, mirroring a long-lived
-/// serving process.
+/// Warmed median-of-N wall time of run() only; the server (and its warm
+/// runner, when pipelined) is constructed once and reused, mirroring a
+/// long-lived serving process. The untimed setup phase submits the
+/// requests and tears the previous rep's report down — move-assigning
+/// into it inside the window would bill run() for freeing thousands of
+/// last-rep batch/response buffers.
 RunOutcome run_server(const TreeMapping& mapping, const ServerOptions& opts,
                       const std::vector<Request>& requests, int repeat) {
   RunOutcome outcome;
-  outcome.wall_seconds = 1e9;
   Server server(mapping, opts);
-  for (int rep = 0; rep < repeat; ++rep) {
-    for (const Request& r : requests) server.submit(r);
-    // Tear the previous rep's report down before the clock starts —
-    // move-assigning into it inside the window would bill run() for
-    // freeing thousands of last-rep batch/response buffers.
-    outcome.report = ServeReport{};
-    const auto t0 = std::chrono::steady_clock::now();
-    outcome.report = server.run();
-    outcome.wall_seconds = std::min(outcome.wall_seconds, seconds_since(t0));
-  }
+  outcome.wall_seconds = bench::median_wall_seconds(
+      /*warmup=*/1, repeat,
+      [&] {
+        for (const Request& r : requests) server.submit(r);
+        outcome.report = ServeReport{};
+      },
+      [&] { outcome.report = server.run(); });
   return outcome;
 }
 

@@ -1,0 +1,431 @@
+// E23 — skew-adaptive migration: wall-clock throughput of the epoch-based
+// remapping serve loop (DESIGN.md §15) against the frozen static-COLOR
+// baseline on a hot-spot Zipf workload.
+//
+// The workload concentrates requests on a handful of "hot" leaves that all
+// share base color 0 — the E18-style adversarial skew for a static
+// mapping: every hot node serializes on one module, the module backlog
+// inflates memory-system residency past the retry timeout, and the retry
+// waves multiply serving rounds (each round re-executes the cumulative
+// batch history). With migration enabled the planner's heat ledger spots
+// the hot subtrees within one epoch and rotates them onto distinct
+// modules, so residencies stay under the timeout and the run converges in
+// the minimal number of rounds. The wall-clock win is therefore a
+// *behavioral* one — fewer retry rounds, less cumulative re-execution,
+// fewer control ticks — not a microkernel difference, which is what makes
+// it robust to measure.
+//
+// Measured questions:
+//   * static vs migrated wall req/s (warmed median-of-N; target >= 1.5x),
+//     plus the deterministic skew facts behind it: serving rounds, total
+//     retries, final cycle, predicted peak module heat before/after.
+//   * determinism: migrated responses bit-identical at 1/2/8 workers and
+//     under the staged pipeline (1/2 workers); a disabled MigrationPolicy
+//     reproduces the static baseline bit-for-bit.
+//
+// The exit-code gate covers ONLY the deterministic invariants (identity,
+// rounds, retries, final cycle) so the perf-smoke ctest entry cannot
+// flake under scheduler noise; the wall-clock ratio is printed, recorded
+// in BENCH_E23_migration.json, and judged in EXPERIMENTS.md from a
+// quiet-box full run. PMTREE_E23_SMOKE=1 shrinks every dimension.
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "pmtree/mapping/color.hpp"
+#include "pmtree/serve/server.hpp"
+#include "pmtree/tree/tree.hpp"
+#include "pmtree/util/json.hpp"
+#include "pmtree/util/rng.hpp"
+
+namespace {
+
+using namespace pmtree;
+using namespace pmtree::serve;
+
+bool smoke_mode() { return bench::smoke_mode("PMTREE_E23_SMOKE"); }
+
+std::uint32_t tree_levels() {
+  return bench::serve_bench_dims(smoke_mode()).tree_levels;
+}
+std::uint32_t module_count() {
+  return bench::serve_bench_dims(smoke_mode()).modules;
+}
+std::size_t request_count() {
+  return bench::serve_bench_dims(smoke_mode()).requests;
+}
+int reps() { return bench::serve_bench_dims(smoke_mode()).reps; }
+
+/// Subtree granularity for both the workload and the MigrationPolicy.
+constexpr std::uint32_t kSubtreeLevel = 4;
+/// Hot subtrees (out of 2^kSubtreeLevel = 16), evenly spaced.
+constexpr std::uint32_t kHotSubtrees = 8;
+/// Color-0 leaves collected per hot subtree.
+constexpr std::size_t kLeavesPerSubtree = 6;
+
+/// The adversarial node sets: bottom-level leaves from kHotSubtrees
+/// DISTINCT subtrees that all share one BASE color — under the static
+/// mapping every such leaf serializes on the same module, while the
+/// migration planner can rotate each subtree independently. The target
+/// color is whatever the first leaf wears (a COLOR mapping does not
+/// guarantee any particular color appears in a given subtree's leaf
+/// range, so the scan walks subtrees until enough of them yield
+/// kLeavesPerSubtree same-colored leaves).
+std::vector<std::vector<Node>> hot_leaves(const CompleteBinaryTree& tree,
+                                          const TreeMapping& mapping) {
+  const std::uint32_t bottom = tree.levels() - 1;
+  const std::uint32_t subtrees =
+      static_cast<std::uint32_t>(pow2(kSubtreeLevel));
+  const Color target = mapping.color_of(v(0, bottom));
+  std::vector<std::vector<Node>> hot;
+  for (std::uint32_t sid = 0;
+       sid < subtrees && hot.size() < kHotSubtrees; ++sid) {
+    const std::uint64_t first = std::uint64_t{sid} << (bottom - kSubtreeLevel);
+    const std::uint64_t count = pow2(bottom - kSubtreeLevel);
+    std::vector<Node> leaves;
+    for (std::uint64_t k = 0; k < count && leaves.size() < kLeavesPerSubtree;
+         ++k) {
+      const Node n = v(first + k, bottom);
+      if (mapping.color_of(n) == target) leaves.push_back(n);
+    }
+    if (leaves.size() == kLeavesPerSubtree) hot.push_back(std::move(leaves));
+  }
+  return hot;
+}
+
+/// Hot-spot Zipf stream: 80% of requests read 3 color-0 leaves from one
+/// hot subtree (subtree s drawn with probability proportional to
+/// 1/(s+1)); 20% are ordinary root-to-leaf paths from uniform leaves. The
+/// hot mass alone oversubscribes module 0 (~1.2 color-0 nodes per cycle
+/// at gap 2 against a 1 node/cycle module), so the static backlog grows
+/// without bound while the migrated spread stays under capacity.
+std::vector<Request> request_stream(
+    const CompleteBinaryTree& tree,
+    const std::vector<std::vector<Node>>& hot, std::size_t count,
+    std::uint32_t clients, std::uint64_t gap, std::uint64_t seed) {
+  Rng rng(seed);
+  // Integer Zipf CDF over the hot subtrees: weight 840 / (s + 1).
+  std::vector<std::uint64_t> cdf;
+  std::uint64_t acc = 0;
+  for (std::uint32_t s = 0; s < kHotSubtrees; ++s) {
+    acc += 840 / (s + 1);
+    cdf.push_back(acc);
+  }
+  std::vector<Request> requests;
+  requests.reserve(count);
+  std::vector<std::uint64_t> next_seq(clients, 0);
+  std::uint64_t clock = 0;
+  const std::uint32_t bottom = tree.levels() - 1;
+  for (std::size_t i = 0; i < count; ++i) {
+    clock += gap == 0 ? 0 : rng.below(2 * gap + 1);  // mean ~= gap
+    Request r;
+    r.client = static_cast<std::uint32_t>(rng.below(clients));
+    r.seq = next_seq[r.client]++;
+    r.submit_cycle = clock;
+    if (rng.below(10) < 8) {
+      const std::uint64_t draw = rng.below(acc);
+      std::uint32_t s = 0;
+      while (cdf[s] <= draw) ++s;
+      const std::vector<Node>& leaves = hot[s];
+      const std::size_t start = rng.below(leaves.size());
+      for (std::size_t k = 0; k < 3; ++k) {
+        r.nodes.push_back(leaves[(start + k) % leaves.size()]);
+      }
+    } else {
+      Node n = v(rng.below(pow2(bottom)), bottom);
+      r.nodes.push_back(n);
+      while (n.level > 0) {
+        n = parent(n);
+        r.nodes.push_back(n);
+      }
+    }
+    requests.push_back(std::move(r));
+  }
+  return requests;
+}
+
+/// E19's serving configuration plus the retry policy that converts module
+/// backlog into extra serving rounds. attempt_timeout sits well above the
+/// residency a balanced spread produces (tens of cycles) and far below
+/// what a saturated module accumulates (thousands).
+ServerOptions serve_options(bool migrated, unsigned workers = 1,
+                            unsigned pipeline_workers = 0) {
+  ServerOptions opts;
+  opts.tick_cycles = 4;
+  opts.replicas = 1;
+  opts.workers = workers;
+  opts.admission.queue_bound = 128;
+  opts.admission.overflow = OverflowPolicy::kShed;
+  opts.batch.max_batch_nodes = 96;
+  opts.batch.max_wait_cycles = 8;
+  // Unlike E19/E22 (which switch DepthSampling off to isolate control-
+  // plane costs), E23 keeps the engine's default per-busy-cycle sampling:
+  // replica re-execution is cycle-driven work proportional to the module
+  // backlog, which is EXACTLY what migration removes — turning it off
+  // would hide most of the effect being measured.
+  opts.retry.max_retries = 4;
+  opts.retry.attempt_timeout_cycles = 64;
+  opts.retry.backoff_base_cycles = 16;
+  opts.retry.backoff_cap_cycles = 128;
+  opts.pipeline.workers = pipeline_workers;
+  if (migrated) {
+    opts.migration.epoch_batches = 8;
+    opts.migration.top_k = kHotSubtrees;
+    opts.migration.subtree_level = kSubtreeLevel;
+    opts.migration.decay_shift = 1;
+    opts.migration.min_heat = 1;
+  }
+  return opts;
+}
+
+struct RunOutcome {
+  ServeReport report;
+  double wall_seconds = 0;
+};
+
+/// Warmed median-of-N wall time of run() only (bench_common.hpp); the
+/// server is constructed once and reused like a long-lived process.
+RunOutcome run_server(const TreeMapping& mapping, const ServerOptions& opts,
+                      const std::vector<Request>& requests, int repeat) {
+  RunOutcome outcome;
+  Server server(mapping, opts);
+  outcome.wall_seconds = bench::median_wall_seconds(
+      /*warmup=*/1, repeat,
+      [&] {
+        for (const Request& r : requests) server.submit(r);
+        outcome.report = ServeReport{};
+      },
+      [&] { outcome.report = server.run(); });
+  return outcome;
+}
+
+/// Bit-identity of everything deterministic: responses row-for-row, then
+/// batch count / final cycle, then the metric sections minus the
+/// wall-time pipeline attribution.
+bool same_responses(const ServeReport& got, const ServeReport& oracle) {
+  if (got.responses.size() != oracle.responses.size()) return false;
+  for (std::size_t i = 0; i < got.responses.size(); ++i) {
+    const Response& x = got.responses[i];
+    const Response& y = oracle.responses[i];
+    if (x.client != y.client || x.seq != y.seq || x.status != y.status ||
+        x.completion_cycle != y.completion_cycle || x.batch != y.batch ||
+        x.dispatch_cycle != y.dispatch_cycle || x.retries != y.retries) {
+      return false;
+    }
+  }
+  if (got.batches.size() != oracle.batches.size()) return false;
+  if (got.final_cycle != oracle.final_cycle) return false;
+  for (const auto& [key, value] : oracle.metrics.members()) {
+    if (key == "pipeline") continue;  // wall-time stage attribution
+    const Json* other = got.metrics.find(key);
+    if (other == nullptr || other->dump() != value.dump()) return false;
+  }
+  return true;
+}
+
+bool warn_unless(bool ok, const char* what) {
+  if (!ok) std::cout << "MISMATCH: " << what << "\n";
+  return ok;
+}
+
+std::uint64_t total_retries(const ServeReport& report) {
+  std::uint64_t total = 0;
+  for (const Response& r : report.responses) total += r.retries;
+  return total;
+}
+
+std::uint64_t migration_stat(const ServeReport& report, const char* field) {
+  const Json* m = report.metrics.find("migration");
+  if (m == nullptr) return 0;
+  const Json* f = m->find(field);
+  return f == nullptr ? 0 : f->as_uint();
+}
+
+void run_experiment() {
+  const CompleteBinaryTree tree(tree_levels());
+  const ColorMapping color = make_optimal_color_mapping(tree, module_count());
+  const std::vector<std::vector<Node>> hot = hot_leaves(tree, color);
+  const std::vector<Request> requests =
+      request_stream(tree, hot, request_count(), 16, 2, 0xE23);
+
+  // ---- Headline: static vs migrated, single-threaded oracle. ----------
+  const RunOutcome migrated =
+      run_server(color, serve_options(true), requests, reps());
+  const RunOutcome baseline =
+      run_server(color, serve_options(false), requests, reps());
+  const double base_rps =
+      static_cast<double>(requests.size()) / baseline.wall_seconds;
+  const double migr_rps =
+      static_cast<double>(requests.size()) / migrated.wall_seconds;
+  const double speedup = base_rps > 0 ? migr_rps / base_rps : 0;
+
+  TableWriter table({"mapping", "wall s", "wall Mreq/s", "rounds", "retries",
+                     "final cycle", "speedup"});
+  table.row("static COLOR", baseline.wall_seconds, base_rps / 1e6,
+            baseline.report.rounds, total_retries(baseline.report),
+            baseline.report.final_cycle, 1.0);
+  table.row("migrated", migrated.wall_seconds, migr_rps / 1e6,
+            migrated.report.rounds, total_retries(migrated.report),
+            migrated.report.final_cycle, speedup);
+  bench::print_experiment(
+      "E23 (skew-adaptive migration vs static mapping)",
+      std::to_string(request_count()) + " requests, 80% hot-spot Zipf on " +
+          std::to_string(kHotSubtrees) + " color-0 subtrees, COLOR M=" +
+          std::to_string(module_count()) + ", height-" +
+          std::to_string(tree.levels() - 1) + " tree, retry timeout 64",
+      table);
+
+  TableWriter planner({"stat", "value"});
+  planner.row("epochs planned", migration_stat(migrated.report,
+                                               "epochs_planned"));
+  planner.row("mappings minted", migration_stat(migrated.report,
+                                                "mappings_minted"));
+  planner.row("subtrees moved", migration_stat(migrated.report,
+                                               "subtrees_moved"));
+  planner.row("predicted peak before", migration_stat(migrated.report,
+                                                      "last_peak_before"));
+  planner.row("predicted peak after", migration_stat(migrated.report,
+                                                     "last_peak_after"));
+  bench::print_experiment("E23 (planner)",
+                          "MigrationPlanner stats of the migrated run",
+                          planner);
+
+  // ---- Determinism: the exit-code gate. -------------------------------
+  // Every run below must be bit-identical to the migrated oracle (or, for
+  // the disabled policy, to the static baseline). Same repeat count as
+  // the headline runs: the registry-backed metric sections accumulate
+  // across run() calls, so bit-identity of the summaries requires the
+  // same run count per server.
+  const RunOutcome w2 =
+      run_server(color, serve_options(true, 2), requests, reps());
+  const RunOutcome w8 =
+      run_server(color, serve_options(true, 8), requests, reps());
+  const RunOutcome p1 =
+      run_server(color, serve_options(true, 1, 1), requests, reps());
+  const RunOutcome p2 =
+      run_server(color, serve_options(true, 1, 2), requests, reps());
+  ServerOptions disabled = serve_options(true);
+  disabled.migration = MigrationPolicy{};
+  const RunOutcome off = run_server(color, disabled, requests, reps());
+
+  const bool id_w2 =
+      warn_unless(same_responses(w2.report, migrated.report), "2 workers");
+  const bool id_w8 =
+      warn_unless(same_responses(w8.report, migrated.report), "8 workers");
+  const bool id_p1 =
+      warn_unless(same_responses(p1.report, migrated.report), "pipeline 1w");
+  const bool id_p2 =
+      warn_unless(same_responses(p2.report, migrated.report), "pipeline 2w");
+  const bool id_off = warn_unless(same_responses(off.report, baseline.report),
+                                  "disabled policy");
+  const bool skew_tamed =
+      migrated.report.rounds <= baseline.report.rounds &&
+      total_retries(migrated.report) < total_retries(baseline.report) &&
+      migrated.report.final_cycle < baseline.report.final_cycle;
+
+  TableWriter gate({"invariant", "verdict"});
+  gate.row("migrated 2 workers == 1 worker", bench::pass_cell(id_w2));
+  gate.row("migrated 8 workers == 1 worker", bench::pass_cell(id_w8));
+  gate.row("pipeline 1w == oracle", bench::pass_cell(id_p1));
+  gate.row("pipeline 2w == oracle", bench::pass_cell(id_p2));
+  gate.row("disabled policy == static baseline", bench::pass_cell(id_off));
+  gate.row("fewer retries/rounds, earlier final cycle",
+           bench::pass_cell(skew_tamed));
+  gate.row("wall speedup >= 1.5x (informational)",
+           smoke_mode() ? "SKIP (smoke dims)"
+                        : bench::pass_cell(speedup >= 1.5));
+  bench::print_experiment(
+      "E23 (acceptance)",
+      "exit code gates the deterministic rows only; the wall ratio is "
+      "recorded for EXPERIMENTS.md",
+      gate);
+
+  Json report = Json::object();
+  report.set("experiment", Json("E23"));
+  report.set("smoke", Json(smoke_mode()));
+  report.set("tree_levels", Json(static_cast<std::uint64_t>(tree_levels())));
+  report.set("modules", Json(static_cast<std::uint64_t>(module_count())));
+  report.set("requests", Json(request_count()));
+  report.set("hot_subtrees", Json(std::uint64_t{kHotSubtrees}));
+  Json rows = Json::object();
+  Json stat = Json::object();
+  stat.set("wall_seconds", Json(baseline.wall_seconds));
+  stat.set("wall_requests_per_sec", Json(base_rps));
+  stat.set("rounds", Json(baseline.report.rounds));
+  stat.set("retries", Json(total_retries(baseline.report)));
+  stat.set("final_cycle", Json(baseline.report.final_cycle));
+  rows.set("static", std::move(stat));
+  Json migr = Json::object();
+  migr.set("wall_seconds", Json(migrated.wall_seconds));
+  migr.set("wall_requests_per_sec", Json(migr_rps));
+  migr.set("rounds", Json(migrated.report.rounds));
+  migr.set("retries", Json(total_retries(migrated.report)));
+  migr.set("final_cycle", Json(migrated.report.final_cycle));
+  const Json* mstats = migrated.report.metrics.find("migration");
+  if (mstats != nullptr) migr.set("migration", *mstats);
+  rows.set("migrated", std::move(migr));
+  report.set("rows", std::move(rows));
+  report.set("speedup", Json(speedup));
+  report.set("identical_workers", Json(id_w2 && id_w8));
+  report.set("identical_pipeline", Json(id_p1 && id_p2));
+  report.set("disabled_equals_static", Json(id_off));
+  report.set("skew_tamed", Json(skew_tamed));
+
+  std::string dir = ".";
+  if (const char* env = std::getenv("PMTREE_BENCH_JSON"); env != nullptr) {
+    dir = env;
+  }
+  const std::string path = dir + "/BENCH_E23_migration.json";
+  std::ofstream file(path);
+  if (file) {
+    file << report.dump(2) << '\n';
+    std::cout << "JSON migration report written to " << path << "\n";
+  } else {
+    std::cout << "warning: could not write " << path << "\n";
+  }
+
+  if (!(id_w2 && id_w8 && id_p1 && id_p2 && id_off && skew_tamed)) {
+    std::cout << "ERROR: migration determinism/skew invariants failed\n";
+    std::exit(1);
+  }
+}
+
+// google-benchmark timings: end-to-end hot-spot serve, static vs migrated.
+
+struct BenchSetup {
+  CompleteBinaryTree tree;
+  ColorMapping mapping;
+  std::vector<Request> requests;
+  BenchSetup()
+      : tree(smoke_mode() ? 10 : 13),
+        mapping(make_optimal_color_mapping(tree, 15)),
+        requests(request_stream(tree, hot_leaves(tree, mapping),
+                                smoke_mode() ? 300 : 2000, 8, 2, 7)) {}
+};
+
+void BM_MigrationEndToEnd(benchmark::State& state) {
+  const BenchSetup s;
+  Server server(s.mapping, serve_options(state.range(0) != 0));
+  for (auto _ : state) {
+    for (const Request& r : s.requests) server.submit(r);
+    const ServeReport report = server.run();
+    benchmark::DoNotOptimize(report.final_cycle);
+  }
+}
+BENCHMARK(BM_MigrationEndToEnd)->Arg(0)->Arg(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -84,6 +84,17 @@ struct EngineResult {
   /// Peak queue depth across all modules.
   [[nodiscard]] std::uint64_t max_queue_depth() const noexcept;
 
+  /// Per-module heat view over the run: the hottest module's served
+  /// count. The serve layer's skew-adaptive planner keys off this shape
+  /// of imbalance (DESIGN.md §15).
+  [[nodiscard]] std::uint64_t max_module_served() const noexcept;
+
+  /// Load imbalance = hottest module / mean module load (1.0 = perfectly
+  /// balanced; 0.0 when nothing was served). The makespan of a batch is
+  /// governed by its hottest module, so this is the factor a remapping
+  /// can hope to recover.
+  [[nodiscard]] double load_imbalance() const noexcept;
+
   /// Full trajectory snapshot as JSON (scalars, percentiles, per-module
   /// arrays) — the payload bench_e16 writes as a BENCH_*.json file.
   [[nodiscard]] Json to_json() const;

@@ -62,6 +62,7 @@
 #include "pmtree/serve/batch.hpp"
 #include "pmtree/serve/fair.hpp"
 #include "pmtree/serve/metrics.hpp"
+#include "pmtree/serve/migration.hpp"
 #include "pmtree/serve/pipeline.hpp"
 #include "pmtree/serve/request.hpp"
 #include "pmtree/serve/server.hpp"
@@ -88,6 +89,10 @@ struct TenantOptions {
   /// into THIS tenant's lanes only — other tenants' mappings and
   /// completions are untouched by construction.
   engine::EngineOptions engine;
+  /// Per-tenant skew-adaptive remapping (migration.hpp); same contract as
+  /// ServerOptions::migration, scoped to this tenant's lanes and mapping.
+  /// A tenant carrying a fault plan keeps its static mapping regardless.
+  MigrationPolicy migration;
 };
 
 struct ForestOptions {

@@ -66,6 +66,12 @@ class ServeMetrics {
   /// section only when set, so oracle runs keep their exact JSON shape.
   void set_pipeline(Json stats) { pipeline_ = std::move(stats); }
 
+  /// Attaches the skew-adaptive planner's snapshot
+  /// (MigrationPlanner::stats — epoch/move counters, per-module heat
+  /// prediction, recent events). Emitted as a "migration" section only
+  /// when set — static-mapping runs keep their exact JSON shape.
+  void set_migration(Json stats) { migration_ = std::move(stats); }
+
   /// SLO snapshot:
   ///   {"latency": {"count","p50","p95","p99","p999","mean","max"},
   ///    "queue_wait": {...same shape...},
@@ -104,7 +110,8 @@ class ServeMetrics {
   engine::Histogram* batch_nodes_;
   engine::Histogram* batch_requests_;
   engine::Histogram* retried_latency_;
-  Json pipeline_;  ///< null unless set_pipeline() was called
+  Json pipeline_;   ///< null unless set_pipeline() was called
+  Json migration_;  ///< null unless set_migration() was called
 };
 
 }  // namespace pmtree::serve

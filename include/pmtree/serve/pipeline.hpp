@@ -83,6 +83,12 @@ struct BatchToken {
   FormedBatch batch;            ///< nodes raw at cut; coalesced by resolve
   std::uint32_t lane = 0;       ///< global execution lane
   std::uint32_t tenant = 0;     ///< forest tenant id (0 for Server)
+  /// Per-batch mapping override (skew-adaptive migration): when set, the
+  /// resolve stage colors against this mapping instead of the lane's.
+  /// Points at a MigrationPlanner epoch snapshot with the same module
+  /// count as the lane mapping; must outlive the round. nullptr keeps
+  /// the lane mapping (the static default).
+  const TreeMapping* mapping = nullptr;
   std::vector<Color> colors;    ///< resolved colors of batch.nodes
   std::uint32_t max_conflicts = 0;  ///< peak per-module load in the batch
   /// Resolve -> execute handoff: set (release) once colors/decomposition
@@ -146,8 +152,10 @@ class StagedRunner {
 
   /// Hands one freshly cut batch to the pipeline (control plane only).
   /// Never blocks: full rings spill into per-ring overflow queues that
-  /// the control plane pumps as consumers advance.
-  void cut(FormedBatch batch, std::uint32_t lane, std::uint32_t tenant = 0);
+  /// the control plane pumps as consumers advance. `mapping` (optional)
+  /// is the batch's epoch-mapping override — see BatchToken::mapping.
+  void cut(FormedBatch batch, std::uint32_t lane, std::uint32_t tenant = 0,
+           const TreeMapping* mapping = nullptr);
 
   /// Round barrier: waits until every cut batch is resolved, executed,
   /// and every lane's cumulative result is drained. After it returns,

@@ -68,6 +68,7 @@
 #include "pmtree/serve/admission.hpp"
 #include "pmtree/serve/batch.hpp"
 #include "pmtree/serve/metrics.hpp"
+#include "pmtree/serve/migration.hpp"
 #include "pmtree/serve/pipeline.hpp"
 #include "pmtree/serve/request.hpp"
 #include "pmtree/util/json.hpp"
@@ -139,6 +140,17 @@ struct ServerOptions {
   /// differential oracle. Faulted configurations (`engine.faults`
   /// non-empty) always take the oracle path regardless of this setting.
   PipelineOptions pipeline;
+  /// Skew-adaptive remapping (migration.hpp). When enabled, a
+  /// MigrationPlanner observes every cut batch on the control plane and
+  /// re-colors hot subtrees onto cold modules at epoch boundaries; each
+  /// batch resolves against its epoch's MigratedMapping. A control-plane
+  /// decision, so responses stay bit-identical at any worker count and
+  /// under the staged pipeline. Disabled (default) leaves every code path
+  /// byte-identical to the static-mapping server. Faulted configurations
+  /// keep the static mapping — fault reroute timelines already own the
+  /// color space (DegradedMapping composes with MigratedMapping at the
+  /// mapping layer instead; see DESIGN.md §15).
+  MigrationPolicy migration;
 };
 
 /// Everything one run() observed, in canonical / dispatch order.

@@ -34,6 +34,19 @@ std::uint64_t EngineResult::max_queue_depth() const noexcept {
   return peak;
 }
 
+std::uint64_t EngineResult::max_module_served() const noexcept {
+  std::uint64_t peak = 0;
+  for (const std::uint64_t s : served) peak = std::max(peak, s);
+  return peak;
+}
+
+double EngineResult::load_imbalance() const noexcept {
+  if (served.empty() || requests == 0) return 0.0;
+  const double mean = static_cast<double>(requests) /
+                      static_cast<double>(served.size());
+  return static_cast<double>(max_module_served()) / mean;
+}
+
 Json EngineResult::to_json() const {
   Json root = Json::object();
   root.set("accesses", Json(accesses));

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
+#include <span>
 #include <utility>
 
 #include "pmtree/engine/arrival.hpp"
+#include "pmtree/engine/session.hpp"
 #include "pmtree/util/parallel.hpp"
 
 namespace pmtree::serve {
@@ -282,6 +285,31 @@ ForestReport Forest::run() {
     }
   }
 
+  // ---- Per-tenant skew-adaptive migration (DESIGN.md §15). ------------
+  // Same protocol as the Server oracle, scoped per tenant: each opted-in
+  // healthy tenant gets a planner fed at cut time (canonical order) plus
+  // one EngineSession per assigned lane, keyed by global lane id; the
+  // parallel phase then only drains those lanes. A tenant carrying a
+  // fault plan keeps the static CycleEngine path — fault reroute tables
+  // own its color space, and EngineSession is healthy-path only.
+  std::vector<std::unique_ptr<MigrationPlanner>> planners(N);
+  std::vector<std::unique_ptr<engine::EngineSession>> lane_sessions(
+      plan_.total_lanes);
+  std::vector<Color> epoch_colors;
+  for (std::size_t i = 0; i < N; ++i) {
+    const TenantOptions& topt = tenants_[i].options;
+    const bool healthy =
+        topt.engine.faults == nullptr || topt.engine.faults->empty();
+    if (!topt.migration.enabled() || !healthy) continue;
+    planners[i] = std::make_unique<MigrationPlanner>(*tenants_[i].mapping,
+                                                     topt.migration);
+    for (std::uint32_t l = 0; l < plan_.lanes[i]; ++l) {
+      lane_sessions[plan_.first_lane[i] + l] =
+          std::make_unique<engine::EngineSession>(*tenants_[i].mapping,
+                                                  topt.engine);
+    }
+  }
+
   while (true) {
     rounds += 1;
     std::size_t next_intake = 0;
@@ -386,6 +414,17 @@ ForestReport Forest::run() {
           }
           unresolved -= batch.members.size();
           report.tenants[i].served_nodes += batch.requested_nodes;
+          if (planners[i]) {
+            planners[i]->observe(batch.nodes, t);
+            epoch_colors.resize(batch.nodes.size());
+            planners[i]->current().color_of_batch(
+                batch.nodes,
+                std::span<Color>(epoch_colors.data(), epoch_colors.size()));
+            lane_sessions[plan_.first_lane[i] +
+                          static_cast<std::uint32_t>(batch.id %
+                                                     plan_.lanes[i])]
+                ->feed_resolved(epoch_colors, t);
+          }
           tenant_metrics[i].on_batch(batch);
           forest_metrics.on_batch(batch);
           report.tenants[i].batches.push_back(std::move(batch));
@@ -431,6 +470,15 @@ ForestReport Forest::run() {
         [&](unsigned, std::uint64_t begin, std::uint64_t end) {
           for (std::uint64_t k = begin; k < end; ++k) {
             const LaneTask task = lane_tasks[k];
+            const std::uint32_t global =
+                plan_.first_lane[task.tenant] + task.lane;
+            if (lane_sessions[global]) {
+              // Fed at cut time with epoch-resolved colors; drain replays
+              // the cumulative feed (extend-never-rewrite, as below).
+              report.tenants[task.tenant].lanes[task.lane] =
+                  lane_sessions[global]->drain();
+              continue;
+            }
             const std::uint32_t lanes = plan_.lanes[task.tenant];
             const TenantReport& tr = report.tenants[task.tenant];
             std::vector<Workload::Access> accesses;
@@ -542,6 +590,7 @@ ForestReport Forest::run() {
       forest_metrics.on_replica_faults(res.rerouted_requests,
                                        res.stalled_cycles);
     }
+    if (planners[i]) tenant_metrics[i].set_migration(planners[i]->stats());
     report.tenants[i].metrics = tenant_metrics[i].summary();
   }
 

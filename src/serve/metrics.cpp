@@ -8,6 +8,20 @@ using engine::Histogram;
 Json histogram_summary(const Histogram& h) {
   Json j = Json::object();
   j.set("count", Json(h.count()));
+  // Explicit zero-request guard: an empty histogram's min() sentinel is
+  // UINT64_MAX and its quantiles lean on the PR 5 saturating-sum edge
+  // cases. A run with no samples (all requests shed, or none submitted)
+  // must still emit a well-formed summary, so pin every derived field to
+  // an explicit zero instead of reading the empty instrument.
+  if (h.count() == 0) {
+    j.set("mean", Json(0.0));
+    j.set("max", Json(std::uint64_t{0}));
+    j.set("p50", Json(std::uint64_t{0}));
+    j.set("p95", Json(std::uint64_t{0}));
+    j.set("p99", Json(std::uint64_t{0}));
+    j.set("p999", Json(std::uint64_t{0}));
+    return j;
+  }
   j.set("mean", Json(h.mean()));
   j.set("max", Json(h.max()));
   j.set("p50", Json(h.p50()));
@@ -116,6 +130,7 @@ Json ServeMetrics::summary() const {
   j.set("queues", queues);
   j.set("faults", faults);
   if (!pipeline_.is_null()) j.set("pipeline", pipeline_);
+  if (!migration_.is_null()) j.set("migration", migration_);
   return j;
 }
 

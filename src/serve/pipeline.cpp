@@ -14,6 +14,7 @@
 #include <array>
 #include <cassert>
 #include <chrono>
+#include <memory>
 #include <utility>
 
 #include "pmtree/serve/forest.hpp"
@@ -151,8 +152,10 @@ bool StagedRunner::pump() {
 }
 
 void StagedRunner::cut(FormedBatch batch, std::uint32_t lane,
-                       std::uint32_t tenant) {
+                       std::uint32_t tenant, const TreeMapping* mapping) {
   assert(lane < lanes_.size());
+  assert(mapping == nullptr ||
+         mapping->num_modules() == lanes_[lane].mapping->num_modules());
   // Pooled token storage (deque: element addresses are stable). A reused
   // token keeps its colors capacity from earlier rounds; its ready flag
   // is lowered again before any ring publishes the pointer.
@@ -162,6 +165,7 @@ void StagedRunner::cut(FormedBatch batch, std::uint32_t lane,
   token.batch = std::move(batch);
   token.lane = lane;
   token.tenant = tenant;
+  token.mapping = mapping;
   token.max_conflicts = 0;
   token.ready.store(false, std::memory_order_relaxed);
 
@@ -257,7 +261,12 @@ void StagedRunner::resolve(BatchToken& token) {
   const std::vector<Node>& nodes = token.batch.nodes;
   token.colors.resize(nodes.size());
   const LaneSpec& lane = lanes_[token.lane];
-  lane.mapping->color_of_batch(
+  // Epoch-mapping override (migration): still one devirtualized batch
+  // call — MigratedMapping delegates to the base kernel plus one rotation
+  // pass, so the SIMD gather path stays hot.
+  const TreeMapping& mapping =
+      token.mapping != nullptr ? *token.mapping : *lane.mapping;
+  mapping.color_of_batch(
       nodes, std::span<Color>(token.colors.data(), token.colors.size()));
 
   if (!nodes.empty()) {
@@ -547,6 +556,18 @@ ServeReport Server::run_pipeline() {
 
   metrics.on_submitted(requests.size());
 
+  // ---- Skew-adaptive migration: identical control-plane calls, in
+  // identical (cut) order, to the oracle in server.cpp — the planner is a
+  // pure function of the cut sequence, so both paths mint the same epoch
+  // mappings. Batches carry their epoch's mapping into the resolve stage
+  // via the token override. Faulted configs never reach here (run()
+  // dispatch), so no fault guard is repeated. ---------------------------
+  const bool migrate = options_.migration.enabled();
+  std::unique_ptr<MigrationPlanner> planner;
+  if (migrate) {
+    planner = std::make_unique<MigrationPlanner>(mapping_, options_.migration);
+  }
+
   const RetryPolicy& retry_policy = options_.retry;
   AdmissionController admission(options_.admission);
   BatchFormer former(options_.batch);
@@ -620,9 +641,13 @@ ServeReport Server::run_pipeline() {
       // stage's job) and straight into the pipeline. metrics.on_batch is
       // deferred to assembly, where the coalesced node set exists; its
       // instruments are order-insensitive counters/histograms, so the
-      // deferred values match the oracle's exactly.
+      // deferred values match the oracle's exactly. With migration on,
+      // form_one (coalesced) replaces form_one_raw so the planner sees the
+      // same node multiset per batch as the oracle; resolve()'s coalesce
+      // is idempotent on an already sorted-deduped batch.
       while (former.due(t, admission)) {
-        FormedBatch batch = former.form_one_raw(t, admission);
+        FormedBatch batch = migrate ? former.form_one(t, admission)
+                                    : former.form_one_raw(t, admission);
         for (const std::size_t index : batch.members) {
           Response& r = report.responses[index];
           r.dispatch_cycle = t;
@@ -630,7 +655,12 @@ ServeReport Server::run_pipeline() {
         }
         unresolved -= batch.members.size();
         const std::uint32_t lane = static_cast<std::uint32_t>(batch.id % R);
-        runner.cut(std::move(batch), lane);
+        const TreeMapping* epoch = nullptr;
+        if (migrate) {
+          planner->observe(batch.nodes, t);
+          epoch = &planner->current();
+        }
+        runner.cut(std::move(batch), lane, 0, epoch);
       }
 
       // Phase 5: observe.
@@ -728,6 +758,7 @@ ServeReport Server::run_pipeline() {
   }
 
   metrics.set_pipeline(runner.stats());
+  if (migrate) metrics.set_migration(planner->stats());
   report.metrics = metrics.summary();
   return report;
 }
@@ -814,6 +845,17 @@ ForestReport Forest::run_pipeline() {
   }
   forest_metrics.on_submitted(all.size());
   DeficitRoundRobin drr(weights, options_.drr_quantum_nodes);
+
+  // ---- Per-tenant skew-adaptive migration: same planner protocol as the
+  // Server twin, one planner per opted-in tenant (pipeline dispatch already
+  // requires every tenant healthy, so no fault guard is repeated). --------
+  std::vector<std::unique_ptr<MigrationPlanner>> planners(N);
+  for (std::size_t i = 0; i < N; ++i) {
+    if (tenants_[i].options.migration.enabled()) {
+      planners[i] = std::make_unique<MigrationPlanner>(
+          *tenants_[i].mapping, tenants_[i].options.migration);
+    }
+  }
 
   const bool pooled = options_.global_queue_bound != 0 && N > 0;
   const std::size_t G =
@@ -946,7 +988,11 @@ ForestReport Forest::run_pipeline() {
           const std::uint64_t cost = former[i].next_batch_cost(admission[i]);
           if (!drr.affords(i, cost)) break;
           drr.spend(i, cost);
-          FormedBatch batch = former[i].form_one_raw(t, admission[i]);
+          // Migrating tenants cut coalesced (form_one) so the planner sees
+          // the oracle's exact node multiset per batch.
+          FormedBatch batch = planners[i]
+                                  ? former[i].form_one(t, admission[i])
+                                  : former[i].form_one_raw(t, admission[i]);
           for (const std::size_t local : batch.members) {
             Response& r = report.tenants[i].responses[local];
             r.dispatch_cycle = t;
@@ -957,7 +1003,13 @@ ForestReport Forest::run_pipeline() {
           const std::uint32_t lane =
               plan_.first_lane[i] +
               static_cast<std::uint32_t>(batch.id % plan_.lanes[i]);
-          runner.cut(std::move(batch), lane, static_cast<std::uint32_t>(i));
+          const TreeMapping* epoch = nullptr;
+          if (planners[i]) {
+            planners[i]->observe(batch.nodes, t);
+            epoch = &planners[i]->current();
+          }
+          runner.cut(std::move(batch), lane, static_cast<std::uint32_t>(i),
+                     epoch);
         }
         if (admission[i].pending_count() == 0) drr.reset(i);
       }
@@ -1091,6 +1143,7 @@ ForestReport Forest::run_pipeline() {
       forest_metrics.on_replica_faults(res.rerouted_requests,
                                        res.stalled_cycles);
     }
+    if (planners[i]) tenant_metrics[i].set_migration(planners[i]->stats());
     report.tenants[i].metrics = tenant_metrics[i].summary();
   }
 

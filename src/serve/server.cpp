@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
+#include <span>
 #include <utility>
 
 #include "pmtree/engine/arrival.hpp"
+#include "pmtree/engine/session.hpp"
 #include "pmtree/util/parallel.hpp"
 
 namespace pmtree::serve {
@@ -136,6 +139,27 @@ ServeReport Server::run() {
     intake[i] = IntakeEntry{requests[i].submit_cycle, i};
   }
 
+  // ---- Skew-adaptive migration (DESIGN.md §15). -----------------------
+  // When enabled, every cut batch is folded into the planner's heat
+  // ledger at cut time (a control-plane event, in canonical batch order)
+  // and resolved against the epoch's mapping into a per-replica
+  // EngineSession; the parallel phase below then only drains. Faulted
+  // configurations keep the static mapping: the fault timeline's reroute
+  // table owns the color space, and EngineSession is healthy-path only.
+  const bool migrate =
+      options_.migration.enabled() &&
+      (options_.engine.faults == nullptr || options_.engine.faults->empty());
+  std::unique_ptr<MigrationPlanner> planner;
+  std::vector<engine::EngineSession> sessions;
+  std::vector<Color> epoch_colors;
+  if (migrate) {
+    planner = std::make_unique<MigrationPlanner>(mapping_, options_.migration);
+    sessions.reserve(R);
+    for (std::uint32_t r = 0; r < R; ++r) {
+      sessions.emplace_back(mapping_, options_.engine);
+    }
+  }
+
   // Requests of the current round not yet shed, expired, or dispatched in
   // a batch. Dispatched requests leave the control plane — their
   // completion cycle is decided by the replica runs, not the tick loop.
@@ -206,7 +230,9 @@ ServeReport Server::run() {
       }
 
       // Phase 4: cut batches. Members get their dispatch stamp here;
-      // their completion waits for the replica runs below.
+      // their completion waits for the replica runs below. With migration
+      // the batch also feeds the heat ledger and its replica's session
+      // now, under the epoch mapping in force after the observation.
       for (FormedBatch& batch : former.form(t, admission)) {
         for (const std::size_t index : batch.members) {
           Response& r = report.responses[index];
@@ -214,6 +240,14 @@ ServeReport Server::run() {
           r.batch = batch.id;
         }
         unresolved -= batch.members.size();
+        if (migrate) {
+          planner->observe(batch.nodes, t);
+          epoch_colors.resize(batch.nodes.size());
+          planner->current().color_of_batch(
+              batch.nodes,
+              std::span<Color>(epoch_colors.data(), epoch_colors.size()));
+          sessions[batch.id % R].feed_resolved(epoch_colors, t);
+        }
         metrics.on_batch(batch);
         report.batches.push_back(std::move(batch));
       }
@@ -242,30 +276,45 @@ ServeReport Server::run() {
     // batches' completions — later arrivals queue strictly behind — so
     // each round's re-execution extends, never rewrites, the previous
     // round's results.
-    for (std::size_t b = round_first_batch; b < report.batches.size(); ++b) {
-      plan[b % R].push_back(b);
-    }
     const unsigned workers =
         std::min<unsigned>(resolve_threads(options_.workers), R);
-    parallel_chunks(R, workers, /*grain=*/1,
-                    [&](unsigned, std::uint64_t begin, std::uint64_t end) {
-                      for (std::uint64_t r = begin; r < end; ++r) {
-                        std::vector<Workload::Access> accesses;
-                        std::vector<std::uint64_t> arrivals;
-                        accesses.reserve(plan[r].size());
-                        arrivals.reserve(plan[r].size());
-                        for (const std::size_t b : plan[r]) {
-                          accesses.push_back(report.batches[b].nodes);
-                          arrivals.push_back(report.batches[b].formed_cycle);
+    if (migrate) {
+      // Sessions were fed at cut time (epoch-resolved colors, canonical
+      // order); the parallel phase replays each cumulative prefix. Same
+      // extend-never-rewrite argument as below — drain() re-runs the
+      // whole feed, and later arrivals queue strictly behind.
+      parallel_chunks(R, workers, /*grain=*/1,
+                      [&](unsigned, std::uint64_t begin, std::uint64_t end) {
+                        for (std::uint64_t r = begin; r < end; ++r) {
+                          report.replicas[r] = sessions[r].drain();
                         }
-                        const engine::CycleEngine eng(mapping_);
-                        report.replicas[r] = eng.run(
-                            Workload(std::move(accesses)),
-                            engine::ArrivalSchedule::explicit_cycles(
-                                std::move(arrivals)),
-                            options_.engine);
-                      }
-                    });
+                      });
+    } else {
+      for (std::size_t b = round_first_batch; b < report.batches.size();
+           ++b) {
+        plan[b % R].push_back(b);
+      }
+      parallel_chunks(R, workers, /*grain=*/1,
+                      [&](unsigned, std::uint64_t begin, std::uint64_t end) {
+                        for (std::uint64_t r = begin; r < end; ++r) {
+                          std::vector<Workload::Access> accesses;
+                          std::vector<std::uint64_t> arrivals;
+                          accesses.reserve(plan[r].size());
+                          arrivals.reserve(plan[r].size());
+                          for (const std::size_t b : plan[r]) {
+                            accesses.push_back(report.batches[b].nodes);
+                            arrivals.push_back(
+                                report.batches[b].formed_cycle);
+                          }
+                          const engine::CycleEngine eng(mapping_);
+                          report.replicas[r] = eng.run(
+                              Workload(std::move(accesses)),
+                              engine::ArrivalSchedule::explicit_cycles(
+                                  std::move(arrivals)),
+                              options_.engine);
+                        }
+                      });
+    }
 
     // ---- Round assembly: this round's batches resolve their members. --
     for (std::size_t b = round_first_batch; b < report.batches.size(); ++b) {
@@ -338,6 +387,7 @@ ServeReport Server::run() {
     metrics.on_replica_faults(res.rerouted_requests, res.stalled_cycles);
   }
 
+  if (migrate) metrics.set_migration(planner->stats());
   report.metrics = metrics.summary();
   return report;
 }

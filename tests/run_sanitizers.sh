@@ -29,7 +29,14 @@
 # a race in the ring cursors, the pooled token reuse, the resolve/execute
 # ordering edge, or the barrier handshake shows up as a TSan report and
 # as a bit-identity mismatch; the `pipeline` ctest label selects the
-# suite on its own).
+# suite on its own), and skew-adaptive migration (test_serve_migration
+# runs migrated serving at 1/2/8 replica workers and 1/2/8 pipeline
+# workers against the single-threaded oracle, drives the sharded engine
+# over a MigratedMapping at 1/2/8 threads, and asserts the epoch audit
+# trail identical — a race between the control-plane planner and the
+# worker-side epoch-mapping reads shows up as a TSan report and as a
+# divergent rotation table; the `migration` ctest label selects the
+# mapping + serve migration suites together).
 #
 #   tests/run_sanitizers.sh             # all three sanitizers, full suite
 #   tests/run_sanitizers.sh tsan        # one sanitizer
@@ -37,11 +44,17 @@
 #
 # Benchmarks are off in the sanitizer presets (google-benchmark under TSan
 # is noise, not signal); examples and tests build and run.
+#
+# After the sanitizers, the `nosimd` preset builds and runs the suite with
+# the SIMD batch kernels compiled out — the scalar fallbacks must stay
+# bit-identical (the batch == scalar differential suites make any drift a
+# test failure, not just a perf note). Skipped when a single sanitizer is
+# requested explicitly; run it alone with `tests/run_sanitizers.sh nosimd`.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-sanitizers=(asan ubsan tsan)
+sanitizers=(asan ubsan tsan nosimd)
 if [[ $# -ge 1 && -n "$1" ]]; then
   sanitizers=("$1")
 fi
