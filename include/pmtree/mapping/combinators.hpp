@@ -24,6 +24,15 @@
 // primitive the serve layer's skew-adaptive planner needs: migrating a
 // hot subtree onto cold modules without touching the paper's
 // conflict-freedom inside the subtree (DESIGN.md §15).
+//
+// Composition audit (DESIGN.md §16): every combinator snapshots the
+// base's tree shape at construction (its own tree() is that snapshot). A
+// *dynamic* base — pmtree::dyn's IncrementalColorer reports growth by
+// resizing its tree() — can therefore change shape underneath a wrapper
+// built earlier. The wrappers reject that instead of silently aliasing:
+// base_shape_changed() reports the drift, and every color path asserts
+// against it, so a combinator must be composed against a quiesced base
+// (or re-built per epoch, as the migration planner does).
 #pragma once
 
 #include <cassert>
@@ -60,17 +69,25 @@ class PermutedMapping final : public TreeMapping {
   }
 
   [[nodiscard]] Color color_of(Node n) const override {
+    assert(!base_shape_changed() && "base mapping resized under wrapper");
     return perm_[base_.color_of(n)];
   }
   /// Delegates to the base's batch kernel, then permutes in place — the
   /// wrapper adds one pass, not one virtual call per node.
   void color_of_batch(std::span<const Node> nodes,
                       std::span<Color> out) const override {
+    assert(!base_shape_changed() && "base mapping resized under wrapper");
     base_.color_of_batch(nodes, out);
     for (std::size_t i = 0; i < nodes.size(); ++i) out[i] = perm_[out[i]];
   }
   [[nodiscard]] std::uint32_t num_modules() const noexcept override {
     return base_.num_modules();
+  }
+  /// True when the base's tree shape no longer matches the snapshot taken
+  /// at composition time — a dynamic base grew or shrank underneath this
+  /// wrapper, so its colors no longer cover the base's node set.
+  [[nodiscard]] bool base_shape_changed() const noexcept {
+    return base_.tree() != tree();
   }
   [[nodiscard]] std::string name() const override {
     return base_.name() + "+perm";
@@ -112,12 +129,18 @@ class DegradedMapping final : public TreeMapping {
   }
 
   [[nodiscard]] Color color_of(Node n) const override {
+    assert(!base_shape_changed() && "base mapping resized under wrapper");
     return redirect_[base_.color_of(n)];
   }
   void color_of_batch(std::span<const Node> nodes,
                       std::span<Color> out) const override {
+    assert(!base_shape_changed() && "base mapping resized under wrapper");
     base_.color_of_batch(nodes, out);
     for (std::size_t i = 0; i < nodes.size(); ++i) out[i] = redirect_[out[i]];
+  }
+  /// See PermutedMapping::base_shape_changed.
+  [[nodiscard]] bool base_shape_changed() const noexcept {
+    return base_.tree() != tree();
   }
   /// The color *space* is unchanged — dead modules simply receive no nodes.
   /// Keeping num_modules() stable lets degraded results compare per-module
@@ -163,6 +186,7 @@ class MigratedMapping final : public TreeMapping {
   }
 
   [[nodiscard]] Color color_of(Node n) const override {
+    assert(!base_shape_changed() && "base mapping resized under wrapper");
     Color c = base_.color_of(n);
     if (n.level >= level_) {
       c += rot_[n.index >> (n.level - level_)];
@@ -176,6 +200,7 @@ class MigratedMapping final : public TreeMapping {
   /// branch-light pass — same shape as DegradedMapping.
   void color_of_batch(std::span<const Node> nodes,
                       std::span<Color> out) const override {
+    assert(!base_shape_changed() && "base mapping resized under wrapper");
     base_.color_of_batch(nodes, out);
     const std::uint32_t m = base_.num_modules();
     for (std::size_t i = 0; i < nodes.size(); ++i) {
@@ -192,6 +217,10 @@ class MigratedMapping final : public TreeMapping {
   }
   [[nodiscard]] std::uint32_t subtree_level() const noexcept {
     return level_;
+  }
+  /// See PermutedMapping::base_shape_changed.
+  [[nodiscard]] bool base_shape_changed() const noexcept {
+    return base_.tree() != tree();
   }
   [[nodiscard]] const std::vector<Color>& rotation_table() const noexcept {
     return rot_;

@@ -57,6 +57,15 @@ class TreeMapping {
   /// Bulk retrieval convenience; routed through color_of_batch.
   [[nodiscard]] std::vector<Color> colors_of(std::span<const Node> nodes) const;
 
+ protected:
+  /// Rebinds the mapping's advertised tree shape. Static mappings never
+  /// call this; dynamic mappings (pmtree::dyn's IncrementalColorer) use it
+  /// to report growth as deeper levels are colored. Combinators snapshot
+  /// the base's shape at composition time, so a base resized underneath
+  /// them is detectable (base_shape_changed()) instead of silently
+  /// aliasing colors.
+  void resize_tree(CompleteBinaryTree tree) noexcept { tree_ = tree; }
+
  private:
   CompleteBinaryTree tree_;
 };

@@ -72,6 +72,11 @@ class ServeMetrics {
   /// when set — static-mapping runs keep their exact JSON shape.
   void set_migration(Json stats) { migration_ = std::move(stats); }
 
+  /// Attaches the dynamic-tree snapshot (mutation counters, live size,
+  /// incremental-colorer work). Emitted as a "dyn" section only when set
+  /// — read-only runs keep their exact JSON shape.
+  void set_dyn(Json stats) { dyn_ = std::move(stats); }
+
   /// SLO snapshot:
   ///   {"latency": {"count","p50","p95","p99","p999","mean","max"},
   ///    "queue_wait": {...same shape...},
@@ -112,6 +117,7 @@ class ServeMetrics {
   engine::Histogram* retried_latency_;
   Json pipeline_;   ///< null unless set_pipeline() was called
   Json migration_;  ///< null unless set_migration() was called
+  Json dyn_;        ///< null unless set_dyn() was called
 };
 
 }  // namespace pmtree::serve

@@ -40,12 +40,38 @@ enum class RequestStatus : std::uint8_t {
   return "?";
 }
 
+/// What the request does to the tree. Reads fetch their node set; writes
+/// additionally mutate the dynamic tree (ServerOptions::dyn) at the
+/// batch-cut barrier, PALM-style: the write rides its search path through
+/// admission/batching/execution like any read, and its structural effect
+/// applies once, on the control plane, in canonical batch-member order —
+/// so responses and mutation verdicts are bit-identical at any worker
+/// count. Without a dyn binding, writes behave exactly as reads.
+enum class RequestKind : std::uint8_t {
+  kRead,    ///< fetch `nodes` only
+  kInsert,  ///< make `target` live (its parent must be live at apply time)
+  kErase,   ///< remove the live, childless, non-root `target`
+};
+
+[[nodiscard]] constexpr const char* to_string(RequestKind k) noexcept {
+  switch (k) {
+    case RequestKind::kRead: return "read";
+    case RequestKind::kInsert: return "insert";
+    case RequestKind::kErase: return "erase";
+  }
+  return "?";
+}
+
 struct Request {
   std::uint32_t client = 0;  ///< submitting client stream
   std::uint64_t seq = 0;     ///< per-client sequence number (caller-assigned)
   std::uint64_t submit_cycle = 0;    ///< simulated arrival time
   std::uint64_t deadline_cycles = 0; ///< latency budget; 0 = no deadline
   std::vector<Node> nodes;           ///< node set to fetch (may be empty)
+  /// Write-request extension; defaults keep read-only traffic unchanged.
+  RequestKind kind = RequestKind::kRead;
+  Node target;                 ///< mutation coordinate (kInsert / kErase)
+  std::int64_t payload = 0;    ///< opaque client payload riding the write
 };
 
 struct Response {

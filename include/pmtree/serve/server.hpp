@@ -69,6 +69,7 @@
 #include "pmtree/serve/batch.hpp"
 #include "pmtree/serve/metrics.hpp"
 #include "pmtree/serve/migration.hpp"
+#include "pmtree/serve/mutation.hpp"
 #include "pmtree/serve/pipeline.hpp"
 #include "pmtree/serve/request.hpp"
 #include "pmtree/util/json.hpp"
@@ -151,6 +152,15 @@ struct ServerOptions {
   /// color space (DegradedMapping composes with MigratedMapping at the
   /// mapping layer instead; see DESIGN.md §15).
   MigrationPolicy migration;
+  /// Read-write serving (mutation.hpp / DESIGN.md §16). When bound to a
+  /// dyn::DynamicTree + IncrementalColorer, Insert/Erase requests apply
+  /// PALM-style at the batch-cut barrier — a control-plane decision, so
+  /// responses and the mutation log stay bit-identical at any worker
+  /// count and under the staged pipeline. Mutually exclusive with
+  /// migration (epoch remapping assumes a frozen shape; compose
+  /// MigratedMapping at the mapping layer instead). Disabled (default)
+  /// leaves every code path byte-identical to the read-only server.
+  DynBinding dyn;
 };
 
 /// Everything one run() observed, in canonical / dispatch order.
@@ -161,6 +171,9 @@ struct ServeReport {
   std::uint64_t ticks = 0;              ///< admission ticks executed
   std::uint64_t rounds = 0;             ///< serving rounds (1 + retry waves)
   std::uint64_t final_cycle = 0;        ///< last completion / resolution
+  /// Mutation log, in apply (batch barrier) order; empty for read-only
+  /// runs. One record per writer, including rejected and deduped ones.
+  std::vector<MutationRecord> mutations;
   Json metrics;                         ///< ServeMetrics::summary()
 
   [[nodiscard]] std::uint64_t count(RequestStatus status) const noexcept;

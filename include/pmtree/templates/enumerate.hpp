@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 
 #include "pmtree/templates/instance.hpp"
 #include "pmtree/tree/tree.hpp"
@@ -64,6 +65,27 @@ void for_each_tp(const CompleteBinaryTree& tree, std::uint64_t K, std::uint32_t 
 /// (Anchors are visited in BFS-id order, so the anchor is node_at(idx).)
 [[nodiscard]] CompositeInstance tp_at(const CompleteBinaryTree& tree,
                                       std::uint64_t K, std::uint64_t idx);
+
+// Validated (total) forms of the indexed accessors. The unchecked `*_at`
+// functions above assert their preconditions, which compile away under
+// NDEBUG — an out-of-range `idx` or malformed `K` then silently yields an
+// instance outside the family (or outside the tree entirely). These
+// return nullopt instead, so callers that compute indices from untrusted
+// or dynamic state (chunked parallel loops, dyn-mode planners) get a
+// checkable error, never a garbage instance. On success the value is
+// bit-identical to the unchecked accessor's.
+
+[[nodiscard]] std::optional<SubtreeInstance> try_subtree_at(
+    const CompleteBinaryTree& tree, std::uint64_t K, std::uint64_t idx);
+
+[[nodiscard]] std::optional<LevelRunInstance> try_level_run_at(
+    const CompleteBinaryTree& tree, std::uint64_t K, std::uint64_t idx);
+
+[[nodiscard]] std::optional<PathInstance> try_path_at(
+    const CompleteBinaryTree& tree, std::uint64_t K, std::uint64_t idx);
+
+[[nodiscard]] std::optional<CompositeInstance> try_tp_at(
+    const CompleteBinaryTree& tree, std::uint64_t K, std::uint64_t idx);
 
 /// Total TP_K(i, j) instances over all j = 1..levels: one per anchor node,
 /// i.e. tree.size().

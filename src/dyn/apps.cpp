@@ -1,0 +1,308 @@
+#include "pmtree/dyn/apps.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <utility>
+
+namespace pmtree::dyn {
+
+// ---------------------------------------------------------------------------
+// DynamicDictionary
+// ---------------------------------------------------------------------------
+
+DynamicDictionary::DynamicDictionary(DynamicTree& tree, std::uint32_t client_id,
+                                     Key root_key)
+    : tree_(&tree), client_(client_id) {
+  keys_.resize(tree.slot_watermark(), 0);
+  has_key_.resize(tree.slot_watermark(), 0);
+  const std::uint64_t slot = tree.slot_of(tree.envelope().root());
+  keys_[slot] = root_key;
+  has_key_[slot] = 1;
+}
+
+DynamicDictionary::Key DynamicDictionary::key_at(Node n,
+                                                 bool* in_overlay) const {
+  for (const auto& [node, key] : overlay_) {
+    if (node == n) {
+      if (in_overlay != nullptr) *in_overlay = true;
+      return key;
+    }
+  }
+  if (in_overlay != nullptr) *in_overlay = false;
+  assert(tree_->is_live(n));
+  const std::uint64_t slot = tree_->slot_of(n);
+  // Every live node written by a dictionary client has its key harvested
+  // from the mutation log at reconcile; a missing key means a foreign
+  // writer shares the tree, which the dictionary does not support.
+  assert(slot < has_key_.size() && has_key_[slot] != 0);
+  return slot < keys_.size() ? keys_[slot] : 0;
+}
+
+DynamicDictionary::Walk DynamicDictionary::walk(Key key) const {
+  Walk w;
+  Node cur = tree_->envelope().root();
+  while (true) {
+    w.path.push_back(cur);
+    const Key k = key_at(cur, nullptr);
+    if (k == key) {
+      w.found = true;
+      return w;
+    }
+    const Node child = key < k ? left_child(cur) : right_child(cur);
+    if (!tree_->envelope().contains(child)) return w;  // envelope exhausted
+    bool in_overlay = false;
+    if (tree_->is_live(child)) {
+      cur = child;
+      continue;
+    }
+    for (const auto& entry : overlay_) {
+      if (entry.first == child) {
+        in_overlay = true;
+        break;
+      }
+    }
+    if (in_overlay) {
+      cur = child;
+      continue;
+    }
+    w.attach = child;
+    w.attachable = true;
+    return w;
+  }
+}
+
+std::uint64_t DynamicDictionary::submit_search(serve::Server& server, Key key,
+                                               std::uint64_t submit_cycle,
+                                               std::uint64_t deadline_cycles) {
+  const Walk w = walk(key);
+  const std::uint64_t seq = ops_.size();
+  ops_.push_back(Op{key, false});
+  serve::Request req;
+  req.client = client_;
+  req.seq = seq;
+  req.submit_cycle = submit_cycle;
+  req.deadline_cycles = deadline_cycles;
+  req.nodes = w.path;
+  server.submit(std::move(req));
+  return seq;
+}
+
+std::uint64_t DynamicDictionary::submit_insert(serve::Server& server, Key key,
+                                               std::uint64_t submit_cycle,
+                                               std::uint64_t deadline_cycles) {
+  const Walk w = walk(key);
+  const std::uint64_t seq = ops_.size();
+  ops_.push_back(Op{key, true});
+  serve::Request req;
+  req.client = client_;
+  req.seq = seq;
+  req.submit_cycle = submit_cycle;
+  req.deadline_cycles = deadline_cycles;
+  req.nodes = w.path;
+  if (!w.found && w.attachable) {
+    req.kind = serve::RequestKind::kInsert;
+    req.target = w.attach;
+    req.payload = key;
+    req.nodes.push_back(w.attach);
+    overlay_.emplace_back(w.attach, key);
+  }
+  // Duplicate key or exhausted envelope: the request stays a read of the
+  // search path; reconcile reports applied = false.
+  server.submit(std::move(req));
+  return seq;
+}
+
+void DynamicDictionary::store_key(Node n, Key key) {
+  const std::uint64_t slot = tree_->slot_of(n);
+  if (slot >= keys_.size()) {
+    keys_.resize(slot + 1, 0);
+    has_key_.resize(slot + 1, 0);
+  }
+  if (has_key_[slot] == 0) {
+    has_key_[slot] = 1;
+    key_count_ += 1;
+  }
+  keys_[slot] = key;
+}
+
+std::vector<DynamicDictionary::Outcome> DynamicDictionary::reconcile(
+    const serve::ServeReport& report) {
+  // Harvest every applied insert — any client's — from the barrier log:
+  // keys ride mutations as payloads, so the log is the authoritative
+  // key-state delta and every dictionary client converges to the same
+  // store. (Erases are not part of the dictionary protocol.)
+  std::unordered_map<std::uint64_t, char> ours_applied;
+  for (const serve::MutationRecord& rec : report.mutations) {
+    if (rec.status != DynStatus::kOk) continue;
+    if (rec.kind == serve::RequestKind::kInsert) {
+      store_key(rec.target, rec.payload);
+    }
+    if (rec.client == client_) ours_applied[rec.seq] = 1;
+  }
+  overlay_.clear();
+
+  std::vector<Outcome> outcomes;
+  for (const serve::Response& resp : report.responses) {
+    if (resp.client != client_) continue;
+    assert(resp.seq < ops_.size());
+    const Op& op = ops_[resp.seq];
+    Outcome out;
+    out.seq = resp.seq;
+    out.key = op.key;
+    out.is_insert = op.insert;
+    out.response = resp;
+    out.applied = ours_applied.count(resp.seq) != 0;
+    out.found = contains(op.key);
+    outcomes.push_back(out);
+  }
+  std::sort(outcomes.begin(), outcomes.end(),
+            [](const Outcome& a, const Outcome& b) { return a.seq < b.seq; });
+  reconciled_ = ops_.size();
+  return outcomes;
+}
+
+bool DynamicDictionary::contains(Key key) const { return walk(key).found; }
+
+// ---------------------------------------------------------------------------
+// DynamicHeap
+// ---------------------------------------------------------------------------
+
+DynamicHeap::DynamicHeap(DynamicTree& tree, std::uint32_t client_id,
+                         Key root_key)
+    : tree_(&tree), client_(client_id) {
+  heap_.push_back(root_key);
+  shadow_ = heap_;
+}
+
+void DynamicHeap::sift_up(std::vector<Key>& heap, std::size_t i,
+                          std::vector<Node>* touched) {
+  if (touched != nullptr) touched->push_back(node_at(i));
+  while (i > 0) {
+    const std::size_t p = (i - 1) / 2;
+    if (heap[p] <= heap[i]) break;
+    std::swap(heap[p], heap[i]);
+    i = p;
+    if (touched != nullptr) touched->push_back(node_at(i));
+  }
+}
+
+void DynamicHeap::sift_down(std::vector<Key>& heap,
+                            std::vector<Node>* touched) {
+  std::size_t i = 0;
+  if (touched != nullptr) touched->push_back(node_at(i));
+  while (true) {
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = l + 1;
+    std::size_t best = i;
+    if (l < heap.size() && heap[l] < heap[best]) best = l;
+    if (r < heap.size() && heap[r] < heap[best]) best = r;
+    if (best == i) return;
+    std::swap(heap[i], heap[best]);
+    i = best;
+    if (touched != nullptr) touched->push_back(node_at(i));
+  }
+}
+
+DynamicHeap::Key DynamicHeap::pop_heap(std::vector<Key>& heap,
+                                       std::vector<Node>* touched) {
+  assert(heap.size() > 1);
+  const Key out = heap.front();
+  heap.front() = heap.back();
+  heap.pop_back();
+  sift_down(heap, touched);
+  return out;
+}
+
+std::uint64_t DynamicHeap::submit_push(serve::Server& server, Key key,
+                                       std::uint64_t submit_cycle,
+                                       std::uint64_t deadline_cycles) {
+  const std::uint64_t seq = ops_.size();
+  ops_.push_back(Op{key, true});
+  const Node target = node_at(shadow_.size());
+  serve::Request req;
+  req.client = client_;
+  req.seq = seq;
+  req.submit_cycle = submit_cycle;
+  req.deadline_cycles = deadline_cycles;
+  req.kind = serve::RequestKind::kInsert;
+  req.target = target;
+  req.payload = key;
+  // The sift-up path: target up to the root — every coordinate the push
+  // may compare or write.
+  Node cur = target;
+  for (std::uint32_t d = 0; d <= target.level; ++d) {
+    req.nodes.push_back(cur);
+    if (cur.level > 0) cur = parent(cur);
+  }
+  shadow_.push_back(key);
+  sift_up(shadow_, shadow_.size() - 1, nullptr);
+  server.submit(std::move(req));
+  return seq;
+}
+
+std::uint64_t DynamicHeap::submit_pop(serve::Server& server,
+                                      std::uint64_t submit_cycle,
+                                      std::uint64_t deadline_cycles) {
+  const std::uint64_t seq = ops_.size();
+  ops_.push_back(Op{0, false});
+  serve::Request req;
+  req.client = client_;
+  req.seq = seq;
+  req.submit_cycle = submit_cycle;
+  req.deadline_cycles = deadline_cycles;
+  req.kind = serve::RequestKind::kErase;
+  if (shadow_.size() > 1) {
+    req.target = node_at(shadow_.size() - 1);
+    pop_heap(shadow_, &req.nodes);  // speculative sift-down chain
+  } else {
+    // Speculatively empty: the erase targets the root and the barrier
+    // rejects it (kIsRoot) — the deterministic "pop of empty heap".
+    req.target = node_at(0);
+    req.nodes.push_back(node_at(0));
+  }
+  server.submit(std::move(req));
+  return seq;
+}
+
+std::vector<DynamicHeap::Outcome> DynamicHeap::reconcile(
+    const serve::ServeReport& report) {
+  // Replay our applied mutations in log (barrier) order: the heap's
+  // final state and every pop's extracted key are pure functions of the
+  // deterministic log, matching a sequential reference replay.
+  std::unordered_map<std::uint64_t, Key> popped;
+  std::unordered_map<std::uint64_t, char> ours_applied;
+  for (const serve::MutationRecord& rec : report.mutations) {
+    if (rec.client != client_ || rec.status != DynStatus::kOk) continue;
+    assert(rec.seq < ops_.size());
+    const Op& op = ops_[rec.seq];
+    if (op.push) {
+      heap_.push_back(op.key);
+      sift_up(heap_, heap_.size() - 1, nullptr);
+    } else {
+      popped[rec.seq] = pop_heap(heap_, nullptr);
+    }
+    ours_applied[rec.seq] = 1;
+  }
+
+  std::vector<Outcome> outcomes;
+  for (const serve::Response& resp : report.responses) {
+    if (resp.client != client_) continue;
+    assert(resp.seq < ops_.size());
+    const Op& op = ops_[resp.seq];
+    Outcome out;
+    out.seq = resp.seq;
+    out.is_push = op.push;
+    out.response = resp;
+    out.applied = ours_applied.count(resp.seq) != 0;
+    out.key = op.push ? op.key : (out.applied ? popped[resp.seq] : 0);
+    outcomes.push_back(out);
+  }
+  std::sort(outcomes.begin(), outcomes.end(),
+            [](const Outcome& a, const Outcome& b) { return a.seq < b.seq; });
+  shadow_ = heap_;  // drop stale speculation (shed/expired/rejected ops)
+  reconciled_ = ops_.size();
+  return outcomes;
+}
+
+}  // namespace pmtree::dyn

@@ -131,6 +131,7 @@ Json ServeMetrics::summary() const {
   j.set("faults", faults);
   if (!pipeline_.is_null()) j.set("pipeline", pipeline_);
   if (!migration_.is_null()) j.set("migration", migration_);
+  if (!dyn_.is_null()) j.set("dyn", dyn_);
   return j;
 }
 

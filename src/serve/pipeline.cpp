@@ -568,6 +568,15 @@ ServeReport Server::run_pipeline() {
     planner = std::make_unique<MigrationPlanner>(mapping_, options_.migration);
   }
 
+  // ---- Read-write mode: the mutation barrier runs at the cut, on the
+  // control plane, before the batch enters the staged pipeline — the
+  // TokenRing's release-push publishes the colors to the resolve workers.
+  // Identical cut sequence to the oracle ⇒ identical mutation log. ------
+  const bool dynamic = options_.dyn.enabled();
+  assert(!(dynamic && migrate) &&
+         "dyn serving and skew migration are mutually exclusive");
+  std::vector<char> mutation_applied(requests.size(), 0);
+
   const RetryPolicy& retry_policy = options_.retry;
   AdmissionController admission(options_.admission);
   BatchFormer former(options_.batch);
@@ -654,6 +663,10 @@ ServeReport Server::run_pipeline() {
           r.batch = batch.id;
         }
         unresolved -= batch.members.size();
+        if (dynamic) {
+          apply_batch_mutations(batch, requests, options_.dyn, t,
+                                mutation_applied, report.mutations);
+        }
         const std::uint32_t lane = static_cast<std::uint32_t>(batch.id % R);
         const TreeMapping* epoch = nullptr;
         if (migrate) {
@@ -759,6 +772,7 @@ ServeReport Server::run_pipeline() {
 
   metrics.set_pipeline(runner.stats());
   if (migrate) metrics.set_migration(planner->stats());
+  if (dynamic) metrics.set_dyn(dyn_stats(options_.dyn, report.mutations));
   report.metrics = metrics.summary();
   return report;
 }

@@ -29,6 +29,19 @@ Json ServeReport::to_json() const {
   j.set("ticks", Json(ticks));
   j.set("rounds", Json(rounds));
   j.set("final_cycle", Json(final_cycle));
+  // Read-only runs keep their exact JSON shape; read-write runs add the
+  // barrier's aggregate verdicts.
+  if (!mutations.empty()) {
+    std::uint64_t applied = 0;
+    for (const MutationRecord& m : mutations) {
+      applied += m.status == dyn::DynStatus::kOk ? 1 : 0;
+    }
+    Json muts = Json::object();
+    muts.set("count", Json(mutations.size()));
+    muts.set("applied", Json(applied));
+    muts.set("rejected", Json(mutations.size() - applied));
+    j.set("mutations", std::move(muts));
+  }
   j.set("metrics", metrics);
 
   Json rows = Json::array();
@@ -146,8 +159,16 @@ ServeReport Server::run() {
   // EngineSession; the parallel phase below then only drains. Faulted
   // configurations keep the static mapping: the fault timeline's reroute
   // table owns the color space, and EngineSession is healthy-path only.
+  // ---- Read-write mode (DESIGN.md §16). -------------------------------
+  // Mutations apply at the batch-cut barrier below; migration assumes a
+  // frozen tree shape, so the two are mutually exclusive by contract.
+  const bool dynamic = options_.dyn.enabled();
+  assert(!(dynamic && options_.migration.enabled()) &&
+         "dyn serving and skew migration are mutually exclusive");
+  std::vector<char> mutation_applied(requests.size(), 0);
+
   const bool migrate =
-      options_.migration.enabled() &&
+      !dynamic && options_.migration.enabled() &&
       (options_.engine.faults == nullptr || options_.engine.faults->empty());
   std::unique_ptr<MigrationPlanner> planner;
   std::vector<engine::EngineSession> sessions;
@@ -240,6 +261,13 @@ ServeReport Server::run() {
           r.batch = batch.id;
         }
         unresolved -= batch.members.size();
+        if (dynamic) {
+          // The PALM barrier: writers apply now, in canonical member
+          // order, and the colorer publishes every color the replica
+          // phase will read — before any worker sees the batch.
+          apply_batch_mutations(batch, requests, options_.dyn, t,
+                                mutation_applied, report.mutations);
+        }
         if (migrate) {
           planner->observe(batch.nodes, t);
           epoch_colors.resize(batch.nodes.size());
@@ -388,6 +416,7 @@ ServeReport Server::run() {
   }
 
   if (migrate) metrics.set_migration(planner->stats());
+  if (dynamic) metrics.set_dyn(dyn_stats(options_.dyn, report.mutations));
   report.metrics = metrics.summary();
   return report;
 }

@@ -62,41 +62,68 @@ void for_each_tp(const CompleteBinaryTree& tree, std::uint64_t K, std::uint32_t 
   }
 }
 
-SubtreeInstance subtree_at([[maybe_unused]] const CompleteBinaryTree& tree,
-                           std::uint64_t K, std::uint64_t idx) {
-  assert(is_tree_size(K));
-  assert(idx < count_subtrees(tree, K));
+// The unchecked accessors delegate to the validated forms so both share
+// one derivation; the asserts preserve the historical debug-build
+// contract, and the validated forms make the failure observable under
+// NDEBUG too.
+
+std::optional<SubtreeInstance> try_subtree_at(const CompleteBinaryTree& tree,
+                                              std::uint64_t K,
+                                              std::uint64_t idx) {
+  if (!is_tree_size(K) || idx >= count_subtrees(tree, K)) return std::nullopt;
   // for_each_subtree scans roots level by level, left to right = BFS order.
   return SubtreeInstance{node_at(idx), K};
 }
 
-LevelRunInstance level_run_at(const CompleteBinaryTree& tree, std::uint64_t K,
-                              std::uint64_t idx) {
-  assert(K >= 1);
+SubtreeInstance subtree_at(const CompleteBinaryTree& tree, std::uint64_t K,
+                           std::uint64_t idx) {
+  const std::optional<SubtreeInstance> inst = try_subtree_at(tree, K, idx);
+  assert(inst && "subtree_at: malformed K or idx out of range");
+  return inst ? *inst : SubtreeInstance{};
+}
+
+std::optional<LevelRunInstance> try_level_run_at(const CompleteBinaryTree& tree,
+                                                 std::uint64_t K,
+                                                 std::uint64_t idx) {
+  if (K < 1) return std::nullopt;
   for (std::uint32_t j = 0; j < tree.levels(); ++j) {
     if (pow2(j) < K) continue;
     const std::uint64_t runs = pow2(j) - K + 1;
     if (idx < runs) return LevelRunInstance{v(idx, j), K};
     idx -= runs;
   }
-  assert(false && "idx out of range");
-  return LevelRunInstance{};
+  return std::nullopt;
 }
 
-PathInstance path_at([[maybe_unused]] const CompleteBinaryTree& tree,
-                     std::uint64_t K, std::uint64_t idx) {
-  assert(K >= 1);
-  assert(idx < count_paths(tree, K));
+LevelRunInstance level_run_at(const CompleteBinaryTree& tree, std::uint64_t K,
+                              std::uint64_t idx) {
+  const std::optional<LevelRunInstance> inst = try_level_run_at(tree, K, idx);
+  assert(inst && "level_run_at: malformed K or idx out of range");
+  return inst ? *inst : LevelRunInstance{};
+}
+
+std::optional<PathInstance> try_path_at(const CompleteBinaryTree& tree,
+                                        std::uint64_t K, std::uint64_t idx) {
+  if (K < 1 || K > tree.levels() || idx >= count_paths(tree, K)) {
+    return std::nullopt;
+  }
   // for_each_path scans deepest nodes in BFS order starting at level K-1,
   // whose first BFS id is 2^{K-1} - 1.
   return PathInstance{
       node_at(idx + pow2(static_cast<std::uint32_t>(K) - 1) - 1), K};
 }
 
-CompositeInstance tp_at(const CompleteBinaryTree& tree, std::uint64_t K,
-                        std::uint64_t idx) {
-  assert(is_tree_size(K));
-  assert(idx < count_tp(tree));
+PathInstance path_at(const CompleteBinaryTree& tree, std::uint64_t K,
+                     std::uint64_t idx) {
+  const std::optional<PathInstance> inst = try_path_at(tree, K, idx);
+  assert(inst && "path_at: malformed K or idx out of range");
+  return inst ? *inst : PathInstance{};
+}
+
+std::optional<CompositeInstance> try_tp_at(const CompleteBinaryTree& tree,
+                                           std::uint64_t K,
+                                           std::uint64_t idx) {
+  if (!is_tree_size(K) || idx >= count_tp(tree)) return std::nullopt;
   // Scanning j = 1..levels with anchors v(i, j-1), i ascending, visits the
   // anchors in BFS order.
   const Node anchor = node_at(idx);
@@ -108,6 +135,13 @@ CompositeInstance tp_at(const CompleteBinaryTree& tree, std::uint64_t K,
     tp.add(PathInstance{parent(anchor), anchor.level});
   }
   return tp;
+}
+
+CompositeInstance tp_at(const CompleteBinaryTree& tree, std::uint64_t K,
+                        std::uint64_t idx) {
+  std::optional<CompositeInstance> inst = try_tp_at(tree, K, idx);
+  assert(inst && "tp_at: malformed K or idx out of range");
+  return inst ? *std::move(inst) : CompositeInstance{};
 }
 
 std::uint64_t count_tp(const CompleteBinaryTree& tree) {

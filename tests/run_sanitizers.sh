@@ -36,7 +36,17 @@
 # trail identical — a race between the control-plane planner and the
 # worker-side epoch-mapping reads shows up as a TSan report and as a
 # divergent rotation table; the `migration` ctest label selects the
-# mapping + serve migration suites together).
+# mapping + serve migration suites together), and dynamic trees
+# (test_dyn_serve runs mixed read/write traffic at 1/2/8 replica workers
+# and 1/2/4 pipeline workers against the single-threaded oracle — the
+# control-plane touch() publishes each level's color row with a release
+# store that worker-side color_of() reads must acquire, so a
+# torn publication shows up as a TSan report and as a response or
+# mutation-log divergence; test_dyn_incremental re-checks the
+# incremental coloring bit-identical to a from-scratch rebuild after
+# every mutation batch, and test_engine_faults drives insert/erase
+# batches through fail-stop fault epochs at 2/8 workers — the `dyn`
+# ctest label selects the dynamic-tree suites plus the E24 smoke gate).
 #
 #   tests/run_sanitizers.sh             # all three sanitizers, full suite
 #   tests/run_sanitizers.sh tsan        # one sanitizer

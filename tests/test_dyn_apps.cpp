@@ -1,0 +1,193 @@
+// Dynamic app clients (DESIGN.md §16): dictionary inserts and heap
+// push/pop planned speculatively, applied at the serve barrier, and
+// reconciled from the deterministic mutation log. The heap's pop stream
+// must match a sequential std::priority_queue reference; the dictionary
+// must converge across clients and report conflict losses honestly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "pmtree/dyn/apps.hpp"
+#include "pmtree/dyn/dynamic_tree.hpp"
+#include "pmtree/dyn/incremental.hpp"
+#include "pmtree/serve/server.hpp"
+#include "pmtree/util/rng.hpp"
+
+namespace pmtree::dyn {
+namespace {
+
+constexpr std::uint32_t kLevels = 10;
+
+struct Harness {
+  CompleteBinaryTree envelope{kLevels};
+  DynamicTree tree{kLevels};
+  IncrementalColorer colorer = IncrementalColorer::color(envelope, 6, 2);
+  serve::Server server;
+
+  Harness() : server(colorer, options()) {}
+
+  serve::ServerOptions options() {
+    serve::ServerOptions opts;
+    opts.tick_cycles = 2;
+    opts.batch.max_batch_nodes = 24;
+    opts.dyn.tree = &tree;
+    opts.dyn.colorer = &colorer;
+    return opts;
+  }
+};
+
+TEST(DynamicDictionary, InsertThenSearchRoundTrips) {
+  Harness h;
+  DynamicDictionary dict(h.tree, 0, 500);
+  Rng rng(0xD1C70001);
+  std::vector<DynamicDictionary::Key> keys;
+  std::uint64_t cycle = 0;
+  for (int i = 0; i < 40; ++i) {
+    const auto key = static_cast<DynamicDictionary::Key>(rng.below(10000));
+    keys.push_back(key);
+    dict.submit_insert(h.server, key, cycle);
+    cycle += 2;
+  }
+  const serve::ServeReport report = h.server.run();
+  const auto outcomes = dict.reconcile(report);
+  ASSERT_EQ(outcomes.size(), keys.size());
+  for (const auto& out : outcomes) {
+    EXPECT_EQ(out.response.status, serve::RequestStatus::kOk);
+    // Duplicate keys in the stream legitimately report applied = false;
+    // every key must still be found afterwards.
+    EXPECT_TRUE(out.found) << "key " << out.key;
+  }
+  for (const auto key : keys) EXPECT_TRUE(dict.contains(key));
+  EXPECT_FALSE(dict.contains(-1));
+  EXPECT_TRUE(h.tree.validate());
+  EXPECT_EQ(h.tree.size(), dict.size());
+
+  // A second run of pure searches re-finds everything.
+  cycle = 0;
+  for (const auto key : keys) {
+    dict.submit_search(h.server, key, cycle);
+    cycle += 1;
+  }
+  dict.submit_search(h.server, -42, cycle);
+  const auto outcomes2 = dict.reconcile(h.server.run());
+  ASSERT_EQ(outcomes2.size(), keys.size() + 1);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_TRUE(outcomes2[i].found) << "key " << outcomes2[i].key;
+  }
+  EXPECT_FALSE(outcomes2.back().found);
+}
+
+TEST(DynamicDictionary, RacingClientsConvergeAndLosersAreReported) {
+  Harness h;
+  DynamicDictionary alice(h.tree, 0, 500);
+  DynamicDictionary bob(h.tree, 1, 500);
+  // Both plan the same key from the same initial state: identical attach
+  // coordinate, so exactly one insert applies and the other is deduped /
+  // rejected at the barrier.
+  alice.submit_insert(h.server, 777, 0);
+  bob.submit_insert(h.server, 777, 0);
+  const serve::ServeReport report = h.server.run();
+  const auto a = alice.reconcile(report);
+  const auto b = bob.reconcile(report);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_TRUE(a[0].applied);   // canonically-first writer wins
+  EXPECT_FALSE(b[0].applied);  // loser sees the honest verdict
+  // Both clients converge on the same final state via log harvest.
+  EXPECT_TRUE(a[0].found);
+  EXPECT_TRUE(b[0].found);
+  EXPECT_TRUE(alice.contains(777));
+  EXPECT_TRUE(bob.contains(777));
+  EXPECT_EQ(h.tree.size(), 2u);
+}
+
+TEST(DynamicHeap, PopsMatchPriorityQueueReference) {
+  Harness h;
+  DynamicHeap heap(h.tree, 0, 100);
+  std::priority_queue<std::int64_t, std::vector<std::int64_t>,
+                      std::greater<>>
+      ref;
+  ref.push(100);
+  Rng rng(0xEAB00001);
+  std::uint64_t cycle = 0;
+  std::vector<bool> is_pop;
+  std::uint64_t ref_size = 1;
+  for (int i = 0; i < 120; ++i) {
+    // Keep the reference in lockstep with the speculative plan: pops on a
+    // size-1 heap are planned but rejected at the barrier.
+    const bool pop = rng.chance(2, 5) && ref_size > 1;
+    if (pop) {
+      heap.submit_pop(h.server, cycle);
+      is_pop.push_back(true);
+      ref_size -= 1;
+    } else {
+      const auto key = static_cast<std::int64_t>(rng.below(100000));
+      heap.submit_push(h.server, key, cycle);
+      is_pop.push_back(false);
+      ref_size += 1;
+    }
+    cycle += 2;
+  }
+  const serve::ServeReport report = h.server.run();
+  const auto outcomes = heap.reconcile(report);
+  ASSERT_EQ(outcomes.size(), is_pop.size());
+
+  // Replay the reference sequentially in seq order (single client: the
+  // canonical barrier order IS the seq order) and compare every pop.
+  for (const auto& out : outcomes) {
+    ASSERT_EQ(out.response.status, serve::RequestStatus::kOk);
+    ASSERT_TRUE(out.applied) << "seq " << out.seq;
+    if (out.is_push) {
+      ref.push(out.key);
+    } else {
+      ASSERT_FALSE(ref.empty());
+      EXPECT_EQ(out.key, ref.top()) << "seq " << out.seq;
+      ref.pop();
+    }
+  }
+  ASSERT_EQ(heap.size(), ref.size());
+  EXPECT_EQ(heap.top(), ref.top());
+  EXPECT_TRUE(h.tree.validate());
+  // BFS-compactness: the live set is exactly the first size() BFS ids.
+  const std::vector<Node> live = h.tree.live_nodes();
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    EXPECT_EQ(live[i], node_at(i));
+  }
+}
+
+TEST(DynamicHeap, PopOfEmptyHeapIsRejectedDeterministically) {
+  Harness h;
+  DynamicHeap heap(h.tree, 0, 50);
+  heap.submit_pop(h.server, 0);  // speculative size 1: targets the root
+  const auto outcomes = heap.reconcile(h.server.run());
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].response.status, serve::RequestStatus::kOk);
+  EXPECT_FALSE(outcomes[0].applied);
+  EXPECT_EQ(heap.size(), 1u);
+  EXPECT_EQ(heap.top(), 50);
+  EXPECT_EQ(h.tree.size(), 1u);
+}
+
+TEST(DynamicHeap, MultiRunSessionsKeepState) {
+  Harness h;
+  DynamicHeap heap(h.tree, 0, 10);
+  heap.submit_push(h.server, 5, 0);
+  heap.submit_push(h.server, 20, 2);
+  (void)heap.reconcile(h.server.run());
+  EXPECT_EQ(heap.size(), 3u);
+  EXPECT_EQ(heap.top(), 5);
+
+  heap.submit_pop(h.server, 0);
+  const auto outcomes = heap.reconcile(h.server.run());
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].applied);
+  EXPECT_EQ(outcomes[0].key, 5);
+  EXPECT_EQ(heap.size(), 2u);
+  EXPECT_EQ(heap.top(), 10);
+}
+
+}  // namespace
+}  // namespace pmtree::dyn

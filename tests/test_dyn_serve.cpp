@@ -1,0 +1,312 @@
+// Read-write serving differential (DESIGN.md §16): mixed read/write
+// traffic against a DynamicTree + IncrementalColorer must produce
+// bit-identical responses, mutation logs and final tree/color state at
+// 1/2/8 workers, under the staged pipeline, and under the
+// full-recolor-per-epoch strawman — and write-write conflicts must
+// resolve to the canonically-first writer, deterministically.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pmtree/dyn/dynamic_tree.hpp"
+#include "pmtree/dyn/incremental.hpp"
+#include "pmtree/mapping/color.hpp"
+#include "pmtree/mapping/label_tree.hpp"
+#include "pmtree/serve/server.hpp"
+#include "pmtree/util/rng.hpp"
+
+namespace pmtree::serve {
+namespace {
+
+constexpr std::uint32_t kLevels = 8;
+constexpr std::uint32_t kN = 5;
+constexpr std::uint32_t kK = 2;
+
+struct Config {
+  ServerOptions options;  ///< dyn binding filled per run
+  std::vector<Request> requests;
+  bool label_scheme = false;
+};
+
+Config random_config(std::uint64_t seed) {
+  Rng rng(seed);
+  Config cfg;
+  cfg.label_scheme = rng.chance(1, 3);
+  cfg.options.tick_cycles = rng.between(1, 5);
+  cfg.options.replicas = static_cast<std::uint32_t>(rng.between(1, 3));
+  cfg.options.admission.queue_bound = rng.between(4, 32);
+  cfg.options.batch.max_batch_nodes = rng.between(4, 48);
+  cfg.options.batch.max_wait_cycles = rng.between(0, 10);
+
+  const std::size_t count = rng.between(40, 160);
+  std::uint64_t clock = 0;
+  std::vector<std::uint64_t> next_seq(4, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    clock += rng.below(4);
+    Request r;
+    r.client = static_cast<std::uint32_t>(rng.below(4));
+    r.seq = next_seq[r.client]++;
+    r.submit_cycle = clock;
+    const std::uint64_t dice = rng.below(100);
+    // Write targets are biased to shallow levels so parents are often
+    // live and a healthy share of mutations actually applies; the rest
+    // exercise the rejection verdicts.
+    if (dice < 25) {
+      r.kind = RequestKind::kInsert;
+      const auto level = static_cast<std::uint32_t>(rng.between(1, 5));
+      r.target = Node{level, rng.below(pow2(level))};
+      r.payload = static_cast<std::int64_t>(rng.below(1000));
+      Node cur = r.target;
+      while (true) {
+        r.nodes.push_back(cur);
+        if (cur.level == 0) break;
+        cur = parent(cur);
+      }
+    } else if (dice < 40) {
+      r.kind = RequestKind::kErase;
+      const auto level = static_cast<std::uint32_t>(rng.between(1, 5));
+      r.target = Node{level, rng.below(pow2(level))};
+      r.nodes.push_back(r.target);
+    } else {
+      const std::size_t nodes = rng.between(1, 5);
+      for (std::size_t t = 0; t < nodes; ++t) {
+        const auto level = static_cast<std::uint32_t>(rng.below(kLevels));
+        r.nodes.push_back(Node{level, rng.below(pow2(level))});
+      }
+    }
+    cfg.requests.push_back(std::move(r));
+  }
+  return cfg;
+}
+
+struct RunResult {
+  ServeReport report;
+  std::vector<Node> live;        ///< final live set
+  std::vector<Color> live_colors;
+  std::uint64_t tree_version = 0;
+  std::uint64_t nodes_colored = 0;
+};
+
+/// Fresh tree + colorer per run: every leg replays the same traffic from
+/// the same root-only initial state.
+RunResult run_config(const Config& cfg, unsigned workers,
+                     unsigned pipeline_workers, bool recolor_from_scratch) {
+  const CompleteBinaryTree envelope(kLevels);
+  dyn::DynamicTree tree(kLevels);
+  dyn::IncrementalColorer colorer =
+      cfg.label_scheme ? dyn::IncrementalColorer::label_tree(envelope, 7)
+                       : dyn::IncrementalColorer::color(envelope, kN, kK);
+  ServerOptions opts = cfg.options;
+  opts.workers = workers;
+  opts.pipeline.workers = pipeline_workers;
+  opts.dyn.tree = &tree;
+  opts.dyn.colorer = &colorer;
+  opts.dyn.recolor_from_scratch = recolor_from_scratch;
+  Server server(colorer, opts);
+  for (const Request& r : cfg.requests) server.submit(r);
+  RunResult res;
+  res.report = server.run();
+  res.live = tree.live_nodes();
+  res.live_colors.resize(res.live.size());
+  colorer.color_of_batch(std::span<const Node>(res.live.data(),
+                                               res.live.size()),
+                         std::span<Color>(res.live_colors.data(),
+                                          res.live_colors.size()));
+  res.tree_version = tree.version();
+  res.nodes_colored = colorer.nodes_colored();
+  EXPECT_TRUE(tree.validate());
+  return res;
+}
+
+void expect_same_responses(const ServeReport& got, const ServeReport& want) {
+  ASSERT_EQ(got.responses.size(), want.responses.size());
+  for (std::size_t i = 0; i < got.responses.size(); ++i) {
+    const Response& a = got.responses[i];
+    const Response& b = want.responses[i];
+    ASSERT_EQ(a.client, b.client) << i;
+    ASSERT_EQ(a.seq, b.seq) << i;
+    ASSERT_EQ(a.status, b.status) << i;
+    ASSERT_EQ(a.admitted_cycle, b.admitted_cycle) << i;
+    ASSERT_EQ(a.dispatch_cycle, b.dispatch_cycle) << i;
+    ASSERT_EQ(a.completion_cycle, b.completion_cycle) << i;
+    ASSERT_EQ(a.batch, b.batch) << i;
+  }
+}
+
+void expect_same_mutations(const std::vector<MutationRecord>& got,
+                           const std::vector<MutationRecord>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].batch, want[i].batch) << i;
+    ASSERT_EQ(got[i].client, want[i].client) << i;
+    ASSERT_EQ(got[i].seq, want[i].seq) << i;
+    ASSERT_EQ(got[i].kind, want[i].kind) << i;
+    ASSERT_EQ(got[i].target, want[i].target) << i;
+    ASSERT_EQ(got[i].payload, want[i].payload) << i;
+    ASSERT_EQ(got[i].status, want[i].status) << i;
+    ASSERT_EQ(got[i].applied_cycle, want[i].applied_cycle) << i;
+  }
+}
+
+void expect_same_final_state(const RunResult& got, const RunResult& want) {
+  ASSERT_EQ(got.live, want.live);
+  ASSERT_EQ(got.live_colors, want.live_colors);
+  ASSERT_EQ(got.tree_version, want.tree_version);
+}
+
+TEST(DynServe, MixedTrafficIsWorkerCountInvariant) {
+  std::uint64_t total_applied = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const Config cfg = random_config(seed * 7919);
+    const RunResult oracle = run_config(cfg, 1, 0, false);
+
+    ASSERT_EQ(oracle.report.count(RequestStatus::kOk) +
+                  oracle.report.count(RequestStatus::kShed) +
+                  oracle.report.count(RequestStatus::kExpired),
+              cfg.requests.size());
+    for (const MutationRecord& rec : oracle.report.mutations) {
+      if (rec.status == dyn::DynStatus::kOk) total_applied += 1;
+    }
+
+    for (const unsigned workers : {2u, 8u}) {
+      SCOPED_TRACE("workers=" + std::to_string(workers));
+      const RunResult got = run_config(cfg, workers, 0, false);
+      expect_same_responses(got.report, oracle.report);
+      expect_same_mutations(got.report.mutations, oracle.report.mutations);
+      expect_same_final_state(got, oracle);
+      // The oracle path's full JSON (metrics included) is byte-identical.
+      ASSERT_EQ(got.report.to_json().dump(), oracle.report.to_json().dump());
+    }
+  }
+  // The workload actually wrote — otherwise the suite re-checks reads.
+  EXPECT_GT(total_applied, 0u);
+}
+
+TEST(DynServe, StagedPipelineMatchesOracle) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const Config cfg = random_config(seed * 104729);
+    const RunResult oracle = run_config(cfg, 1, 0, false);
+    for (const unsigned pipeline_workers : {1u, 2u, 4u}) {
+      SCOPED_TRACE("pipeline=" + std::to_string(pipeline_workers));
+      const RunResult got = run_config(cfg, 1, pipeline_workers, false);
+      expect_same_responses(got.report, oracle.report);
+      expect_same_mutations(got.report.mutations, oracle.report.mutations);
+      expect_same_final_state(got, oracle);
+    }
+  }
+}
+
+TEST(DynServe, FullRecolorStrawmanIsBitIdenticalButCostlier) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const Config cfg = random_config(seed * 65537);
+    const RunResult incremental = run_config(cfg, 2, 0, false);
+    const RunResult strawman = run_config(cfg, 2, 0, true);
+    // Colors are coordinate-pure: dropping and rebuilding the memo after
+    // every writing batch changes the work, never the answers.
+    expect_same_responses(strawman.report, incremental.report);
+    expect_same_mutations(strawman.report.mutations,
+                          incremental.report.mutations);
+    expect_same_final_state(strawman, incremental);
+    // (Work comparison lives in bench E24 — reset() zeroes the colorer's
+    // counters, so end-of-run counts are not comparable across modes.)
+  }
+}
+
+TEST(DynServe, FinalColorsMatchFromScratchMappings) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Config cfg = random_config(seed * 2654435761u);
+    const RunResult res = run_config(cfg, 2, 0, false);
+    const CompleteBinaryTree envelope(kLevels);
+    std::unique_ptr<TreeMapping> rebuild;
+    if (cfg.label_scheme) {
+      rebuild = std::make_unique<LabelTreeMapping>(
+          envelope, 7, LabelTreeMapping::Retrieval::kTable);
+    } else {
+      rebuild = std::make_unique<ColorMapping>(envelope, kN, kK);
+    }
+    for (std::size_t i = 0; i < res.live.size(); ++i) {
+      ASSERT_EQ(res.live_colors[i], rebuild->color_of(res.live[i]))
+          << "node (" << res.live[i].level << ", " << res.live[i].index << ")";
+    }
+  }
+}
+
+TEST(DynServe, ConflictingWritersResolveToCanonicalFirst) {
+  // Two clients race an insert of the same coordinate in the same cycle;
+  // a third erases it immediately after. Canonical order (submit, client,
+  // seq) decides every verdict.
+  const CompleteBinaryTree envelope(kLevels);
+  dyn::DynamicTree tree(kLevels);
+  dyn::IncrementalColorer colorer =
+      dyn::IncrementalColorer::color(envelope, kN, kK);
+  ServerOptions opts;
+  opts.tick_cycles = 2;
+  opts.batch.max_batch_nodes = 16;
+  opts.dyn.tree = &tree;
+  opts.dyn.colorer = &colorer;
+  Server server(colorer, opts);
+
+  const Node target{1, 0};
+  for (std::uint32_t client = 0; client < 2; ++client) {
+    Request r;
+    r.client = client;
+    r.seq = 0;
+    r.submit_cycle = 0;
+    r.kind = RequestKind::kInsert;
+    r.target = target;
+    r.payload = 100 + client;
+    r.nodes = {Node{0, 0}, target};
+    server.submit(std::move(r));
+  }
+  Request erase;
+  erase.client = 2;
+  erase.seq = 0;
+  erase.submit_cycle = 10;
+  erase.kind = RequestKind::kErase;
+  erase.target = target;
+  erase.nodes = {target};
+  server.submit(std::move(erase));
+
+  const ServeReport report = server.run();
+  ASSERT_EQ(report.mutations.size(), 3u);
+  // Client 0 is canonically first: its insert wins.
+  EXPECT_EQ(report.mutations[0].client, 0u);
+  EXPECT_EQ(report.mutations[0].status, dyn::DynStatus::kOk);
+  // Client 1's identical (kind, target) in the same batch is deduped; in
+  // a later batch it would be kOccupied — both verdicts are losses.
+  EXPECT_TRUE(report.mutations[1].status == dyn::DynStatus::kDuplicate ||
+              report.mutations[1].status == dyn::DynStatus::kOccupied);
+  // The erase lands after both inserts and succeeds.
+  EXPECT_EQ(report.mutations[2].kind, RequestKind::kErase);
+  EXPECT_EQ(report.mutations[2].status, dyn::DynStatus::kOk);
+  EXPECT_FALSE(tree.is_live(target));
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(DynServe, WithoutBindingWritesBehaveAsReads) {
+  // The same traffic against a plain static server: no barrier, no log,
+  // and the kind/target fields are inert.
+  const Config cfg = random_config(31337);
+  const CompleteBinaryTree envelope(kLevels);
+  const ColorMapping mapping(envelope, kN, kK);
+  ServerOptions opts = cfg.options;
+  Server server(mapping, opts);
+  for (const Request& r : cfg.requests) server.submit(r);
+  const ServeReport report = server.run();
+  EXPECT_TRUE(report.mutations.empty());
+  EXPECT_EQ(report.count(RequestStatus::kOk) +
+                report.count(RequestStatus::kShed) +
+                report.count(RequestStatus::kExpired),
+            cfg.requests.size());
+}
+
+}  // namespace
+}  // namespace pmtree::serve

@@ -1,0 +1,208 @@
+// DynamicTree: the bitmap/free-list node allocator under the envelope
+// (DESIGN.md §16). Covers every DynStatus verdict, slot recycling, the
+// subtree split/merge operations, and a randomized churn differential
+// against a straightforward reference model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "pmtree/dyn/dynamic_tree.hpp"
+#include "pmtree/util/rng.hpp"
+
+namespace pmtree::dyn {
+namespace {
+
+TEST(DynamicTree, StartsRootOnly) {
+  DynamicTree t(6);
+  EXPECT_EQ(t.max_levels(), 6u);
+  EXPECT_EQ(t.levels(), 1u);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.is_live(Node{0, 0}));
+  EXPECT_TRUE(t.is_leaf(Node{0, 0}));
+  EXPECT_FALSE(t.is_live(Node{1, 0}));
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(DynamicTree, InsertValidatesEveryInvariant) {
+  DynamicTree t(3);
+  // Out of envelope: level 3 of a 3-level envelope, and a bad index.
+  EXPECT_EQ(t.insert_node(Node{3, 0}), DynStatus::kNotInEnvelope);
+  EXPECT_EQ(t.insert_node(Node{1, 2}), DynStatus::kNotInEnvelope);
+  // The root is already live.
+  EXPECT_EQ(t.insert_node(Node{0, 0}), DynStatus::kOccupied);
+  // Level-2 node under a dead parent.
+  EXPECT_EQ(t.insert_node(Node{2, 0}), DynStatus::kParentMissing);
+  // Legal insert, then its child becomes legal.
+  EXPECT_EQ(t.insert_node(Node{1, 0}), DynStatus::kOk);
+  EXPECT_EQ(t.insert_node(Node{1, 0}), DynStatus::kOccupied);
+  EXPECT_EQ(t.insert_node(Node{2, 1}), DynStatus::kOk);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.levels(), 3u);
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(DynamicTree, AppendLeafPicksLeftThenRight) {
+  DynamicTree t(3);
+  const Node root{0, 0};
+  const auto a = t.append_leaf(root);
+  ASSERT_EQ(a.status, DynStatus::kOk);
+  EXPECT_EQ(a.node, (Node{1, 0}));
+  const auto b = t.append_leaf(root);
+  ASSERT_EQ(b.status, DynStatus::kOk);
+  EXPECT_EQ(b.node, (Node{1, 1}));
+  EXPECT_EQ(t.append_leaf(root).status, DynStatus::kOccupied);
+  EXPECT_EQ(t.append_leaf(Node{2, 0}).status, DynStatus::kParentMissing);
+  // Fill to the envelope floor: leaves there cannot grow further.
+  ASSERT_EQ(t.append_leaf(a.node).status, DynStatus::kOk);
+  EXPECT_EQ(t.append_leaf(Node{2, 0}).status, DynStatus::kHeightLimit);
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(DynamicTree, RemoveLeafValidatesEveryInvariant) {
+  DynamicTree t(3);
+  ASSERT_EQ(t.insert_node(Node{1, 0}), DynStatus::kOk);
+  ASSERT_EQ(t.insert_node(Node{2, 0}), DynStatus::kOk);
+  EXPECT_EQ(t.remove_leaf(Node{1, 1}), DynStatus::kNotLive);
+  EXPECT_EQ(t.remove_leaf(Node{0, 0}), DynStatus::kIsRoot);
+  EXPECT_EQ(t.remove_leaf(Node{1, 0}), DynStatus::kHasChildren);
+  EXPECT_EQ(t.remove_leaf(Node{2, 0}), DynStatus::kOk);
+  EXPECT_EQ(t.remove_leaf(Node{1, 0}), DynStatus::kOk);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.levels(), 1u);
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(DynamicTree, SlotsRecycleLifo) {
+  DynamicTree t(4);
+  ASSERT_EQ(t.insert_node(Node{1, 0}), DynStatus::kOk);
+  ASSERT_EQ(t.insert_node(Node{1, 1}), DynStatus::kOk);
+  const std::uint64_t s_left = t.slot_of(Node{1, 0});
+  const std::uint64_t s_right = t.slot_of(Node{1, 1});
+  EXPECT_NE(s_left, s_right);
+  const std::uint64_t watermark = t.slot_watermark();
+  // Free right then left: LIFO recycling hands left's slot out first.
+  ASSERT_EQ(t.remove_leaf(Node{1, 1}), DynStatus::kOk);
+  ASSERT_EQ(t.remove_leaf(Node{1, 0}), DynStatus::kOk);
+  ASSERT_EQ(t.insert_node(Node{1, 0}), DynStatus::kOk);
+  EXPECT_EQ(t.slot_of(Node{1, 0}), s_left);
+  ASSERT_EQ(t.insert_node(Node{1, 1}), DynStatus::kOk);
+  EXPECT_EQ(t.slot_of(Node{1, 1}), s_right);
+  // No fresh slot was minted for the recycled pair.
+  EXPECT_EQ(t.slot_watermark(), watermark);
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(DynamicTree, GrowSubtreeMaterializesCompleteLevels) {
+  DynamicTree t(5);
+  const auto g = t.grow_subtree(Node{0, 0}, 3);
+  ASSERT_EQ(g.status, DynStatus::kOk);
+  EXPECT_EQ(g.nodes, 6u);  // 7-node subtree minus the already-live root
+  EXPECT_EQ(t.size(), 7u);
+  EXPECT_EQ(t.levels(), 3u);
+  // Growing again is a no-op (all nodes already live).
+  const auto again = t.grow_subtree(Node{0, 0}, 3);
+  ASSERT_EQ(again.status, DynStatus::kOk);
+  EXPECT_EQ(again.nodes, 0u);
+  // Deeper growth under a live interior node.
+  const auto deep = t.grow_subtree(Node{2, 3}, 3);
+  ASSERT_EQ(deep.status, DynStatus::kOk);
+  EXPECT_EQ(deep.nodes, 6u);
+  EXPECT_EQ(t.levels(), 5u);
+  EXPECT_TRUE(t.validate());
+  // Invariant violations.
+  EXPECT_EQ(t.grow_subtree(Node{3, 0}, 2).status, DynStatus::kNotLive);
+  EXPECT_EQ(t.grow_subtree(Node{2, 3}, 4).status, DynStatus::kHeightLimit);
+}
+
+TEST(DynamicTree, PruneSubtreeCollapsesToRoot) {
+  DynamicTree t(5);
+  ASSERT_EQ(t.grow_subtree(Node{0, 0}, 4).status, DynStatus::kOk);
+  EXPECT_EQ(t.size(), 15u);
+  const auto p = t.prune_subtree(Node{1, 1});
+  ASSERT_EQ(p.status, DynStatus::kOk);
+  EXPECT_EQ(p.nodes, 6u);  // its 2 children + 4 grandchildren
+  EXPECT_TRUE(t.is_live(Node{1, 1}));
+  EXPECT_TRUE(t.is_leaf(Node{1, 1}));
+  EXPECT_EQ(t.size(), 9u);
+  EXPECT_TRUE(t.validate());
+  EXPECT_EQ(t.prune_subtree(Node{4, 0}).status, DynStatus::kNotLive);
+  // Pruning the root empties everything but the root.
+  const auto all = t.prune_subtree(Node{0, 0});
+  ASSERT_EQ(all.status, DynStatus::kOk);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.levels(), 1u);
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(DynamicTree, VersionBumpsOnlyOnSuccess) {
+  DynamicTree t(3);
+  const std::uint64_t v0 = t.version();
+  EXPECT_EQ(t.insert_node(Node{2, 0}), DynStatus::kParentMissing);
+  EXPECT_EQ(t.version(), v0);
+  ASSERT_EQ(t.insert_node(Node{1, 0}), DynStatus::kOk);
+  EXPECT_GT(t.version(), v0);
+}
+
+TEST(DynamicTree, LiveNodesMatchesForEachLive) {
+  DynamicTree t(4);
+  ASSERT_EQ(t.grow_subtree(Node{0, 0}, 3).status, DynStatus::kOk);
+  ASSERT_EQ(t.remove_leaf(Node{2, 2}), DynStatus::kOk);
+  std::vector<Node> visited;
+  t.for_each_live([&](Node n) { visited.push_back(n); });
+  EXPECT_EQ(visited, t.live_nodes());
+  EXPECT_EQ(visited.size(), t.size());
+  // Level-by-level, left-to-right order.
+  EXPECT_TRUE(std::is_sorted(visited.begin(), visited.end()));
+}
+
+// Randomized churn differential: the allocator against a plain set-based
+// reference model enforcing the same invariants, with validate() run
+// after every mutation.
+TEST(DynamicTree, ChurnMatchesReferenceModel) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    Rng rng(0xD15C0000 + seed);
+    DynamicTree t(7);
+    std::set<Node> ref{Node{0, 0}};
+    const auto ref_has = [&](Node n) { return ref.count(n) != 0; };
+    for (int step = 0; step < 2000; ++step) {
+      const std::uint32_t level =
+          static_cast<std::uint32_t>(rng.below(t.max_levels()));
+      const Node target{level, rng.below(pow2(level))};
+      if (rng.chance(3, 5)) {
+        const DynStatus got = t.insert_node(target);
+        DynStatus want = DynStatus::kOk;
+        if (ref_has(target)) {
+          want = DynStatus::kOccupied;
+        } else if (target.level > 0 && !ref_has(parent(target))) {
+          want = DynStatus::kParentMissing;
+        }
+        EXPECT_EQ(got, want) << "seed " << seed << " step " << step;
+        if (want == DynStatus::kOk) ref.insert(target);
+      } else {
+        const DynStatus got = t.remove_leaf(target);
+        DynStatus want = DynStatus::kOk;
+        const bool child_live =
+            target.level + 1 < t.max_levels() &&
+            (ref_has(left_child(target)) || ref_has(right_child(target)));
+        if (!ref_has(target)) {
+          want = DynStatus::kNotLive;
+        } else if (target.level == 0) {
+          want = DynStatus::kIsRoot;
+        } else if (child_live) {
+          want = DynStatus::kHasChildren;
+        }
+        EXPECT_EQ(got, want) << "seed " << seed << " step " << step;
+        if (want == DynStatus::kOk) ref.erase(target);
+      }
+      ASSERT_EQ(t.size(), ref.size());
+    }
+    ASSERT_TRUE(t.validate());
+    const std::vector<Node> live = t.live_nodes();
+    EXPECT_TRUE(std::equal(live.begin(), live.end(), ref.begin(), ref.end()));
+  }
+}
+
+}  // namespace
+}  // namespace pmtree::dyn

@@ -9,14 +9,19 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 
+#include "pmtree/dyn/dynamic_tree.hpp"
+#include "pmtree/dyn/incremental.hpp"
 #include "pmtree/engine/engine.hpp"
 #include "pmtree/engine/reference.hpp"
 #include "pmtree/engine/sharded.hpp"
 #include "pmtree/mapping/baselines.hpp"
 #include "pmtree/mapping/color.hpp"
 #include "pmtree/mapping/combinators.hpp"
+#include "pmtree/serve/server.hpp"
 #include "pmtree/util/rng.hpp"
 
 namespace pmtree {
@@ -450,7 +455,9 @@ TEST(DegradedMapping, AgreesWithPlanKillingAllButOneModule) {
   EXPECT_EQ(got.completion_cycle, want.completion_cycle);
   std::uint64_t served = 0;
   for (Color m = 0; m < 6; ++m) {
-    if (m != 4) EXPECT_EQ(got.served[m], 0u) << "module " << m;
+    if (m != 4) {
+      EXPECT_EQ(got.served[m], 0u) << "module " << m;
+    }
     served += got.served[m];
   }
   EXPECT_EQ(served, got.requests);
@@ -489,6 +496,140 @@ TEST(FaultDifferential, MidRunMassFailureDrainsQueuedRequestsToSurvivor) {
   // The survivor ends up with everything the dead modules never served.
   EXPECT_EQ(res.served[0], res.requests - (res.served[1] + res.served[2] +
                                            res.served[3] + res.served[4]));
+}
+
+// ---------------------------------------------------------------------------
+// Dyn-tree mutation batches under fault injection (ISSUE 9 satellite):
+// insert/erase requests racing a fail-stop epoch must drain cleanly —
+// every request terminal, every mutation applied exactly once even when
+// retries re-dispatch its request, and the whole run bit-identical at
+// any worker count (faulted configs take the oracle serve path).
+
+struct DynFaultRun {
+  serve::ServeReport report;
+  std::vector<Node> live;
+  std::uint64_t tree_version = 0;
+};
+
+DynFaultRun run_dyn_faulted(const std::vector<serve::Request>& requests,
+                            const FaultPlan* plan, unsigned workers) {
+  const CompleteBinaryTree envelope(8);
+  dyn::DynamicTree tree(8);
+  dyn::IncrementalColorer colorer =
+      dyn::IncrementalColorer::color(envelope, 5, 2);
+  serve::ServerOptions opts;
+  opts.tick_cycles = 2;
+  opts.workers = workers;
+  opts.batch.max_batch_nodes = 12;
+  opts.engine.faults = plan;
+  opts.retry.max_retries = 2;
+  opts.retry.attempt_timeout_cycles = 6;
+  opts.retry.backoff_base_cycles = 2;
+  opts.retry.backoff_cap_cycles = 32;
+  opts.dyn.tree = &tree;
+  opts.dyn.colorer = &colorer;
+  serve::Server server(colorer, opts);
+  for (const serve::Request& r : requests) server.submit(r);
+  DynFaultRun run;
+  run.report = server.run();
+  run.live = tree.live_nodes();
+  run.tree_version = tree.version();
+  EXPECT_TRUE(tree.validate());
+  return run;
+}
+
+TEST(DynFaults, MutationBatchesDrainCleanlyAcrossFailStopEpoch) {
+  Rng rng(0xFA17D711);
+  std::vector<serve::Request> requests;
+  std::uint64_t clock = 0;
+  std::vector<std::uint64_t> next_seq(3, 0);
+  for (int i = 0; i < 90; ++i) {
+    clock += rng.below(3);
+    serve::Request r;
+    r.client = static_cast<std::uint32_t>(rng.below(3));
+    r.seq = next_seq[r.client]++;
+    r.submit_cycle = clock;
+    const std::uint64_t dice = rng.below(10);
+    const auto level = static_cast<std::uint32_t>(rng.between(1, 4));
+    const Node target{level, rng.below(pow2(level))};
+    if (dice < 4) {
+      r.kind = serve::RequestKind::kInsert;
+      r.target = target;
+      r.payload = static_cast<std::int64_t>(i);
+    } else if (dice < 6) {
+      r.kind = serve::RequestKind::kErase;
+      r.target = target;
+    }
+    Node cur = target;
+    while (true) {
+      r.nodes.push_back(cur);
+      if (cur.level == 0) break;
+      cur = parent(cur);
+    }
+    requests.push_back(std::move(r));
+  }
+  // Fail-stop epoch mid-run: half the modules die while writes are in
+  // flight; the tight retry policy turns the inflated residencies into
+  // re-dispatches that race the barrier's applied-once flags.
+  FaultPlan plan;
+  plan.fail_stop(1, 8);
+  plan.fail_stop(3, 8);
+  plan.fail_stop(5, 16);
+
+  const DynFaultRun oracle = run_dyn_faulted(requests, &plan, 1);
+
+  // Clean drain: every request terminal.
+  ASSERT_EQ(oracle.report.count(serve::RequestStatus::kOk) +
+                oracle.report.count(serve::RequestStatus::kShed) +
+                oracle.report.count(serve::RequestStatus::kExpired),
+            requests.size());
+  // Apply-once: at most one mutation record per (client, seq), even for
+  // retried requests, and at least one write both applied and retried
+  // somewhere in the run (the race this test exists for).
+  std::set<std::pair<std::uint32_t, std::uint64_t>> seen;
+  std::uint64_t applied = 0;
+  for (const serve::MutationRecord& rec : oracle.report.mutations) {
+    EXPECT_TRUE(seen.emplace(rec.client, rec.seq).second)
+        << "double-applied (" << rec.client << ", " << rec.seq << ")";
+    if (rec.status == dyn::DynStatus::kOk) applied += 1;
+  }
+  EXPECT_GT(applied, 0u);
+  std::uint64_t retried = 0;
+  for (const serve::Response& resp : oracle.report.responses) {
+    retried += resp.retries;
+  }
+  EXPECT_GT(retried, 0u);
+
+  // Worker-count invariance holds under faults + writes too.
+  for (const unsigned workers : {2u, 8u}) {
+    const DynFaultRun got = run_dyn_faulted(requests, &plan, workers);
+    ASSERT_EQ(got.report.to_json().dump(), oracle.report.to_json().dump());
+    ASSERT_EQ(got.live, oracle.live);
+    ASSERT_EQ(got.tree_version, oracle.tree_version);
+  }
+}
+
+TEST(DynFaults, EmptyPlanMatchesUnfaultedDynRun) {
+  Rng rng(0xFA17D712);
+  std::vector<serve::Request> requests;
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 40; ++i) {
+    serve::Request r;
+    r.client = 0;
+    r.seq = seq++;
+    r.submit_cycle = static_cast<std::uint64_t>(i);
+    const auto level = static_cast<std::uint32_t>(rng.between(1, 3));
+    r.kind = rng.chance(1, 2) ? serve::RequestKind::kInsert
+                              : serve::RequestKind::kErase;
+    r.target = Node{level, rng.below(pow2(level))};
+    r.nodes.push_back(r.target);
+    requests.push_back(std::move(r));
+  }
+  const FaultPlan empty;
+  const DynFaultRun faulted = run_dyn_faulted(requests, &empty, 2);
+  const DynFaultRun bare = run_dyn_faulted(requests, nullptr, 2);
+  ASSERT_EQ(faulted.report.to_json().dump(), bare.report.to_json().dump());
+  ASSERT_EQ(faulted.live, bare.live);
 }
 
 }  // namespace

@@ -95,6 +95,56 @@ TEST(Enumerate, TpInstancesHaveExpectedShape) {
   }
 }
 
+TEST(Enumerate, TryAccessorsMatchUncheckedOnEveryValidIndex) {
+  const CompleteBinaryTree tree(5);
+  const std::uint64_t K = 7;
+  for (std::uint64_t idx = 0; idx < count_subtrees(tree, K); ++idx) {
+    const auto got = try_subtree_at(tree, K, idx);
+    ASSERT_TRUE(got) << "idx " << idx;
+    EXPECT_EQ(got->root, subtree_at(tree, K, idx).root);
+    EXPECT_EQ(got->size, K);
+  }
+  for (std::uint64_t idx = 0; idx < count_level_runs(tree, 3); ++idx) {
+    const auto got = try_level_run_at(tree, 3, idx);
+    ASSERT_TRUE(got) << "idx " << idx;
+    EXPECT_EQ(got->first, level_run_at(tree, 3, idx).first);
+    EXPECT_EQ(got->size, 3u);
+  }
+  for (std::uint64_t idx = 0; idx < count_paths(tree, 4); ++idx) {
+    const auto got = try_path_at(tree, 4, idx);
+    ASSERT_TRUE(got) << "idx " << idx;
+    EXPECT_EQ(got->start, path_at(tree, 4, idx).start);
+    EXPECT_EQ(got->size, 4u);
+  }
+  for (std::uint64_t idx = 0; idx < count_tp(tree); ++idx) {
+    const auto got = try_tp_at(tree, K, idx);
+    ASSERT_TRUE(got) << "idx " << idx;
+    EXPECT_EQ(got->nodes(), tp_at(tree, K, idx).nodes());
+  }
+}
+
+TEST(Enumerate, TryAccessorsRejectMalformedArguments) {
+  const CompleteBinaryTree tree(5);
+  // Malformed K: 6 is not a tree size; runs and paths need K >= 1; a
+  // path cannot be longer than the tree is deep.
+  EXPECT_FALSE(try_subtree_at(tree, 6, 0));
+  EXPECT_FALSE(try_tp_at(tree, 6, 0));
+  EXPECT_FALSE(try_level_run_at(tree, 0, 0));
+  EXPECT_FALSE(try_path_at(tree, 0, 0));
+  EXPECT_FALSE(try_path_at(tree, tree.levels() + 1, 0));
+  // idx one past the family is the first invalid index.
+  EXPECT_FALSE(try_subtree_at(tree, 7, count_subtrees(tree, 7)));
+  EXPECT_FALSE(try_level_run_at(tree, 3, count_level_runs(tree, 3)));
+  EXPECT_FALSE(try_path_at(tree, 4, count_paths(tree, 4)));
+  EXPECT_FALSE(try_tp_at(tree, 7, count_tp(tree)));
+  // A subtree family taller than the tree is empty, not an error class
+  // of its own: every index is out of range.
+  EXPECT_EQ(count_subtrees(tree, tree_size(6)), 0u);
+  EXPECT_FALSE(try_subtree_at(tree, tree_size(6), 0));
+  // A run longer than the widest level similarly yields no instances.
+  EXPECT_FALSE(try_level_run_at(tree, pow2(tree.levels() - 1) + 1, 0));
+}
+
 TEST(Enumerate, CountsOnKnownSmallTree) {
   const CompleteBinaryTree tree(4);  // 15 nodes
   EXPECT_EQ(count_subtrees(tree, 7), 3u);    // roots in levels 0..1: 1+2
