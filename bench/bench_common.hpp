@@ -39,8 +39,17 @@ inline void print_experiment(const std::string& id, const std::string& claim,
     for (const char c : id) {
       file += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
     }
-    std::ofstream out(std::string(dir) + "/" + file + ".csv");
-    if (out) table.print_csv(out);
+    std::string path(dir);
+    if (!path.empty() && path.back() != '/') path += '/';
+    path += file + ".csv";
+    std::ofstream out(path);
+    if (out) {
+      table.print_csv(out);
+    } else {
+      std::cerr << "pmtree-bench: cannot write " << path
+                << " (PMTREE_BENCH_CSV=" << dir
+                << " — does the directory exist?)\n";
+    }
   }
 }
 
@@ -53,6 +62,17 @@ inline std::string pass_cell(bool ok) { return ok ? "PASS" : "FAIL"; }
 inline bool smoke_mode(const char* env_var) {
   const char* env = std::getenv(env_var);
   return env != nullptr && std::string(env) != "0";
+}
+
+/// True median of a non-empty sample: odd N takes the middle element of
+/// the sorted sample; even N averages the two middles. `sorted[n / 2]`
+/// alone is the UPPER middle for even N — a systematic high bias that
+/// skews A/B ratios whenever the two sides' jitter tails differ.
+inline double median_of(std::vector<double> sample) {
+  std::sort(sample.begin(), sample.end());
+  const std::size_t n = sample.size();
+  if (n % 2 == 1) return sample[n / 2];
+  return (sample[n / 2 - 1] + sample[n / 2]) / 2.0;
 }
 
 /// Warmed, median-of-N wall-clock measurement for the comparison tables
@@ -84,8 +104,7 @@ inline double median_wall_seconds(int warmup, int trials, Setup&& setup,
     wall.push_back(std::chrono::duration<double>(Clock::now() - start)
                        .count());
   }
-  std::sort(wall.begin(), wall.end());
-  return wall[wall.size() / 2];
+  return median_of(std::move(wall));
 }
 
 template <typename Fn>
@@ -100,7 +119,8 @@ struct ServeBenchDims {
   std::uint32_t tree_levels;
   std::uint32_t modules;
   std::size_t requests;
-  int reps;  ///< best-of-N wall-clock repetitions (CI boxes are noisy)
+  int reps;  ///< timed trials per warmed median-of-N measurement
+             ///< (median_wall_seconds; CI boxes are noisy)
 };
 
 inline ServeBenchDims serve_bench_dims(bool smoke) {

@@ -32,6 +32,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -145,27 +146,26 @@ ServerOptions serve_options(unsigned workers, std::uint32_t replicas,
   return opts;
 }
 
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
-}
-
 struct RunOutcome {
   ServeReport report;
   double wall_seconds = 0;
 };
 
+/// Warmed median-of-N wall time of run() only (bench_common.hpp); the
+/// untimed setup phase constructs/submits so the timed window bills the
+/// serve loop alone.
 RunOutcome run_server(const TreeMapping& mapping, const ServerOptions& opts,
                       const std::vector<Request>& requests, int repeat) {
   RunOutcome outcome;
-  outcome.wall_seconds = 1e9;  // best-of-N: shared CI boxes are noisy
-  for (int rep = 0; rep < repeat; ++rep) {
-    Server server(mapping, opts);
-    for (const Request& r : requests) server.submit(r);
-    const auto t0 = std::chrono::steady_clock::now();
-    outcome.report = server.run();
-    outcome.wall_seconds = std::min(outcome.wall_seconds, seconds_since(t0));
-  }
+  std::unique_ptr<Server> server;
+  outcome.wall_seconds = bench::median_wall_seconds(
+      /*warmup=*/1, repeat,
+      [&] {
+        server = std::make_unique<Server>(mapping, opts);
+        for (const Request& r : requests) server->submit(r);
+        outcome.report = ServeReport{};
+      },
+      [&] { outcome.report = server->run(); });
   return outcome;
 }
 
@@ -275,12 +275,11 @@ Json engine_degradation(const ColorMapping& mapping,
     opts.faults = plan.empty() ? nullptr : &plan;
 
     engine::EngineResult res;
-    double wall = 1e9;
-    for (int rep = 0; rep < reps(); ++rep) {
-      const auto t0 = std::chrono::steady_clock::now();
-      res = eng.run(workload, engine::ArrivalSchedule::all_at_once(), opts);
-      wall = std::min(wall, seconds_since(t0));
-    }
+    const double wall = bench::median_wall_seconds(
+        /*warmup=*/1, reps(), [&] {
+          res = eng.run(workload, engine::ArrivalSchedule::all_at_once(),
+                        opts);
+        });
     if (fraction == 0.0) healthy_completion = res.completion_cycle;
 
     bool routing = true;

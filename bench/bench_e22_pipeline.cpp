@@ -197,8 +197,9 @@ void run_experiment() {
 
   // Gap 2 runs first, and within a gap the deepest pipeline runs before
   // the oracle: the acceptance gate reads the gap-2 8-worker wall time,
-  // and on a single-core box best-of-N is only honest while the process
-  // hasn't yet heated the machine with the other configurations.
+  // and on a single-core box even a warmed median-of-N is only honest
+  // while the process hasn't yet heated the machine with the other
+  // configurations.
   for (const std::uint64_t gap : {std::uint64_t{2}, std::uint64_t{0},
                                   std::uint64_t{8}}) {
     const std::vector<Request> requests =

@@ -93,6 +93,16 @@ struct TenantOptions {
   /// ServerOptions::migration, scoped to this tenant's lanes and mapping.
   /// A tenant carrying a fault plan keeps its static mapping regardless.
   MigrationPolicy migration;
+  /// Per-tenant adaptive mapping selection (adaptive.hpp); same contract
+  /// as ServerOptions::adaptive, scoped to this tenant's lanes and
+  /// mapping — each tenant resolves the R10 trade-off against its own
+  /// traffic. Mutually exclusive with this tenant's migration; a tenant
+  /// carrying a fault plan keeps its static mapping regardless.
+  AdaptivePolicy adaptive;
+  /// Per-tenant real-memory arenas (mem/arena.hpp); same contract as
+  /// ServerOptions::memory — observation only, totals land in
+  /// TenantReport::memory and the tenant's "memory" metrics section.
+  const mem::MemoryBackend* memory = nullptr;
 };
 
 struct ForestOptions {
@@ -129,6 +139,9 @@ struct TenantReport {
   std::vector<FormedBatch> batches;      ///< ids are tenant-local
   std::vector<engine::EngineResult> lanes;  ///< per assigned lane
   std::uint64_t served_nodes = 0;        ///< pre-dedup nodes dispatched
+  /// Real-memory traffic over this tenant's cut batches; all-zero unless
+  /// TenantOptions::memory was set.
+  mem::TouchStats memory;
   Json metrics;                          ///< this tenant's ServeMetrics
 
   [[nodiscard]] std::uint64_t count(RequestStatus status) const noexcept;

@@ -77,6 +77,18 @@ class ServeMetrics {
   /// — read-only runs keep their exact JSON shape.
   void set_dyn(Json stats) { dyn_ = std::move(stats); }
 
+  /// Attaches the adaptive-selection snapshot (AdaptiveSelector::stats —
+  /// candidate scores, epoch/switch counters, recent decisions). Emitted
+  /// as an "adaptive" section only when set — static-mapping runs keep
+  /// their exact JSON shape.
+  void set_adaptive(Json stats) { adaptive_ = std::move(stats); }
+
+  /// Attaches the real-memory traffic snapshot (MemoryBackend::stats —
+  /// arena layout facts plus the run's touched nodes/bytes/checksum).
+  /// Emitted as a "memory" section only when set — accounting-only runs
+  /// keep their exact JSON shape.
+  void set_memory(Json stats) { memory_ = std::move(stats); }
+
   /// SLO snapshot:
   ///   {"latency": {"count","p50","p95","p99","p999","mean","max"},
   ///    "queue_wait": {...same shape...},
@@ -118,6 +130,8 @@ class ServeMetrics {
   Json pipeline_;   ///< null unless set_pipeline() was called
   Json migration_;  ///< null unless set_migration() was called
   Json dyn_;        ///< null unless set_dyn() was called
+  Json adaptive_;   ///< null unless set_adaptive() was called
+  Json memory_;     ///< null unless set_memory() was called
 };
 
 }  // namespace pmtree::serve

@@ -52,6 +52,7 @@
 #include "pmtree/engine/engine.hpp"
 #include "pmtree/engine/session.hpp"
 #include "pmtree/mapping/mapping.hpp"
+#include "pmtree/mem/arena.hpp"
 #include "pmtree/serve/batch.hpp"
 #include "pmtree/util/json.hpp"
 
@@ -91,6 +92,11 @@ struct BatchToken {
   const TreeMapping* mapping = nullptr;
   std::vector<Color> colors;    ///< resolved colors of batch.nodes
   std::uint32_t max_conflicts = 0;  ///< peak per-module load in the batch
+  /// Real-memory traffic of this batch (lane backend set): the resolve
+  /// worker loads the batch's payloads from the arenas right after the
+  /// coalesce, and assembly folds these order-invariant totals into the
+  /// report — identical to the oracle's control-plane touches.
+  mem::TouchStats mem;
   /// Resolve -> execute handoff: set (release) once colors/decomposition
   /// are final; lane owners consume tokens only after observing it
   /// (acquire). This is the per-token ordering edge that keeps lane feeds
@@ -132,6 +138,11 @@ class TokenRing {
 struct LaneSpec {
   const TreeMapping* mapping = nullptr;
   engine::EngineOptions options;
+  /// Optional real-memory backend (not owned; must outlive the runner).
+  /// When set, the resolve stage touches each batch's payloads — genuine
+  /// parallel loads from the per-module arenas — into BatchToken::mem.
+  /// Observation only; resolution and execution are unaffected.
+  const mem::MemoryBackend* memory = nullptr;
 };
 
 class StagedRunner {

@@ -65,6 +65,8 @@
 #include "pmtree/engine/engine.hpp"
 #include "pmtree/engine/metrics.hpp"
 #include "pmtree/mapping/mapping.hpp"
+#include "pmtree/mem/arena.hpp"
+#include "pmtree/serve/adaptive.hpp"
 #include "pmtree/serve/admission.hpp"
 #include "pmtree/serve/batch.hpp"
 #include "pmtree/serve/metrics.hpp"
@@ -161,6 +163,26 @@ struct ServerOptions {
   /// MigratedMapping at the mapping layer instead). Disabled (default)
   /// leaves every code path byte-identical to the read-only server.
   DynBinding dyn;
+  /// Runtime mapping selection (adaptive.hpp / DESIGN.md §17). When
+  /// enabled, an AdaptiveSelector scores every policy candidate against
+  /// each cut batch on the control plane and switches the serving mapping
+  /// at epoch boundaries when a candidate strictly wins — the R10
+  /// COLOR-vs-LABEL-TREE trade-off decided by measurement. A
+  /// control-plane decision, so responses stay bit-identical at any
+  /// worker count and under the staged pipeline. Mutually exclusive with
+  /// migration (both would own the epoch mapping) and with dyn (selection
+  /// assumes a frozen shape); faulted configurations keep the static
+  /// mapping, exactly like migration.
+  AdaptivePolicy adaptive;
+  /// Real per-module memory arenas (mem/arena.hpp / DESIGN.md §17; not
+  /// owned, must outlive the run). When set, every cut batch's deduped
+  /// node payloads are actually loaded from the arenas — on the control
+  /// plane in the classic loop, on the resolve workers under the staged
+  /// pipeline — and accounted in ServeReport::memory plus a "memory"
+  /// metrics section. Purely observational: responses are bit-identical
+  /// with the backend on or off. Mutually exclusive with dyn (arenas are
+  /// sized for a frozen tree).
+  const mem::MemoryBackend* memory = nullptr;
 };
 
 /// Everything one run() observed, in canonical / dispatch order.
@@ -174,6 +196,10 @@ struct ServeReport {
   /// Mutation log, in apply (batch barrier) order; empty for read-only
   /// runs. One record per writer, including rejected and deduped ones.
   std::vector<MutationRecord> mutations;
+  /// Real-memory traffic over all cut batches; all-zero unless
+  /// ServerOptions::memory was set. Order-invariant totals, identical
+  /// between the classic loop and the staged pipeline.
+  mem::TouchStats memory;
   Json metrics;                         ///< ServeMetrics::summary()
 
   [[nodiscard]] std::uint64_t count(RequestStatus status) const noexcept;

@@ -77,6 +77,7 @@ Json ForestReport::to_json() const {
     row.set("expired", Json(t.count(RequestStatus::kExpired)));
     row.set("batches", Json(t.batches.size()));
     row.set("served_nodes", Json(t.served_nodes));
+    if (t.memory.nodes != 0) row.set("memory", t.memory.to_json());
     row.set("responses", response_rows(t.responses));
     jtenants.push_back(std::move(row));
   }
@@ -285,24 +286,36 @@ ForestReport Forest::run() {
     }
   }
 
-  // ---- Per-tenant skew-adaptive migration (DESIGN.md §15). ------------
-  // Same protocol as the Server oracle, scoped per tenant: each opted-in
-  // healthy tenant gets a planner fed at cut time (canonical order) plus
-  // one EngineSession per assigned lane, keyed by global lane id; the
+  // ---- Per-tenant skew-adaptive migration (DESIGN.md §15) and adaptive
+  // mapping selection (DESIGN.md §17). Same protocol as the Server
+  // oracle, scoped per tenant: each opted-in healthy tenant gets a
+  // planner OR selector fed at cut time (canonical order) plus one
+  // EngineSession per assigned lane, keyed by global lane id; the
   // parallel phase then only drains those lanes. A tenant carrying a
   // fault plan keeps the static CycleEngine path — fault reroute tables
   // own its color space, and EngineSession is healthy-path only.
   std::vector<std::unique_ptr<MigrationPlanner>> planners(N);
+  std::vector<std::unique_ptr<AdaptiveSelector>> selectors(N);
   std::vector<std::unique_ptr<engine::EngineSession>> lane_sessions(
       plan_.total_lanes);
   std::vector<Color> epoch_colors;
   for (std::size_t i = 0; i < N; ++i) {
     const TenantOptions& topt = tenants_[i].options;
+    assert(!(topt.migration.enabled() && topt.adaptive.enabled()) &&
+           "per-tenant migration and adaptive selection are mutually "
+           "exclusive");
     const bool healthy =
         topt.engine.faults == nullptr || topt.engine.faults->empty();
-    if (!topt.migration.enabled() || !healthy) continue;
-    planners[i] = std::make_unique<MigrationPlanner>(*tenants_[i].mapping,
-                                                     topt.migration);
+    if (!healthy) continue;
+    if (topt.migration.enabled()) {
+      planners[i] = std::make_unique<MigrationPlanner>(*tenants_[i].mapping,
+                                                       topt.migration);
+    } else if (topt.adaptive.enabled()) {
+      selectors[i] = std::make_unique<AdaptiveSelector>(*tenants_[i].mapping,
+                                                        topt.adaptive);
+    } else {
+      continue;
+    }
     for (std::uint32_t l = 0; l < plan_.lanes[i]; ++l) {
       lane_sessions[plan_.first_lane[i] + l] =
           std::make_unique<engine::EngineSession>(*tenants_[i].mapping,
@@ -414,16 +427,29 @@ ForestReport Forest::run() {
           }
           unresolved -= batch.members.size();
           report.tenants[i].served_nodes += batch.requested_nodes;
-          if (planners[i]) {
-            planners[i]->observe(batch.nodes, t);
+          if (planners[i] || selectors[i]) {
+            const TreeMapping* epoch = nullptr;
+            if (planners[i]) {
+              planners[i]->observe(batch.nodes, t);
+              epoch = &planners[i]->current();
+            } else {
+              selectors[i]->observe(batch.nodes, t);
+              epoch = &selectors[i]->current();
+            }
             epoch_colors.resize(batch.nodes.size());
-            planners[i]->current().color_of_batch(
+            epoch->color_of_batch(
                 batch.nodes,
                 std::span<Color>(epoch_colors.data(), epoch_colors.size()));
             lane_sessions[plan_.first_lane[i] +
                           static_cast<std::uint32_t>(batch.id %
                                                      plan_.lanes[i])]
                 ->feed_resolved(epoch_colors, t);
+          }
+          if (tenants_[i].options.memory != nullptr) {
+            // form_one already coalesced batch.nodes, so this counts the
+            // exact per-batch node set the lanes execute.
+            report.tenants[i].memory +=
+                tenants_[i].options.memory->touch(batch.nodes);
           }
           tenant_metrics[i].on_batch(batch);
           forest_metrics.on_batch(batch);
@@ -591,6 +617,11 @@ ForestReport Forest::run() {
                                        res.stalled_cycles);
     }
     if (planners[i]) tenant_metrics[i].set_migration(planners[i]->stats());
+    if (selectors[i]) tenant_metrics[i].set_adaptive(selectors[i]->stats());
+    if (tenants_[i].options.memory != nullptr) {
+      tenant_metrics[i].set_memory(
+          tenants_[i].options.memory->stats(report.tenants[i].memory));
+    }
     report.tenants[i].metrics = tenant_metrics[i].summary();
   }
 

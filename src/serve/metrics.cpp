@@ -132,6 +132,8 @@ Json ServeMetrics::summary() const {
   if (!pipeline_.is_null()) j.set("pipeline", pipeline_);
   if (!migration_.is_null()) j.set("migration", migration_);
   if (!dyn_.is_null()) j.set("dyn", dyn_);
+  if (!adaptive_.is_null()) j.set("adaptive", adaptive_);
+  if (!memory_.is_null()) j.set("memory", memory_);
   return j;
 }
 

@@ -167,6 +167,7 @@ void StagedRunner::cut(FormedBatch batch, std::uint32_t lane,
   token.tenant = tenant;
   token.mapping = mapping;
   token.max_conflicts = 0;
+  token.mem = mem::TouchStats{};
   token.ready.store(false, std::memory_order_relaxed);
 
   batches_total_ += 1;
@@ -261,6 +262,11 @@ void StagedRunner::resolve(BatchToken& token) {
   const std::vector<Node>& nodes = token.batch.nodes;
   token.colors.resize(nodes.size());
   const LaneSpec& lane = lanes_[token.lane];
+  // Real-memory backend: load the batch's payloads from the arenas right
+  // after the coalesce — genuine parallel memory traffic on the worker.
+  // Pure observation into this token; assembly folds the order-invariant
+  // totals, so the aggregate matches the oracle's control-plane touches.
+  if (lane.memory != nullptr) token.mem = lane.memory->touch(nodes);
   // Epoch-mapping override (migration): still one devirtualized batch
   // call — MigratedMapping delegates to the base kernel plus one rotation
   // pass, so the SIMD gather path stays hot.
@@ -406,7 +412,8 @@ ServeReport Server::run_pipeline() {
   const std::uint64_t T = options_.tick_cycles;
   const std::uint32_t R = options_.replicas;
   if (!runner_) {
-    std::vector<LaneSpec> lanes(R, LaneSpec{&mapping_, options_.engine});
+    std::vector<LaneSpec> lanes(
+        R, LaneSpec{&mapping_, options_.engine, options_.memory});
     runner_ = std::make_unique<StagedRunner>(std::move(lanes),
                                              options_.pipeline);
   }
@@ -568,6 +575,16 @@ ServeReport Server::run_pipeline() {
     planner = std::make_unique<MigrationPlanner>(mapping_, options_.migration);
   }
 
+  // ---- Adaptive mapping selection: same epoch protocol as migration —
+  // identical control-plane observe() calls in identical cut order to the
+  // oracle, epoch mapping carried into the resolve stage via the token
+  // override. -----------------------------------------------------------
+  const bool adapt = !migrate && options_.adaptive.enabled();
+  std::unique_ptr<AdaptiveSelector> selector;
+  if (adapt) {
+    selector = std::make_unique<AdaptiveSelector>(mapping_, options_.adaptive);
+  }
+
   // ---- Read-write mode: the mutation barrier runs at the cut, on the
   // control plane, before the batch enters the staged pipeline — the
   // TokenRing's release-push publishes the colors to the resolve workers.
@@ -575,6 +592,12 @@ ServeReport Server::run_pipeline() {
   const bool dynamic = options_.dyn.enabled();
   assert(!(dynamic && migrate) &&
          "dyn serving and skew migration are mutually exclusive");
+  assert(!(dynamic && adapt) &&
+         "dyn serving and adaptive selection are mutually exclusive");
+  assert(!(options_.migration.enabled() && options_.adaptive.enabled()) &&
+         "migration and adaptive selection both own the epoch mapping");
+  assert(!(dynamic && options_.memory != nullptr) &&
+         "the real-memory arenas are sized for a frozen tree");
   std::vector<char> mutation_applied(requests.size(), 0);
 
   const RetryPolicy& retry_policy = options_.retry;
@@ -650,13 +673,15 @@ ServeReport Server::run_pipeline() {
       // stage's job) and straight into the pipeline. metrics.on_batch is
       // deferred to assembly, where the coalesced node set exists; its
       // instruments are order-insensitive counters/histograms, so the
-      // deferred values match the oracle's exactly. With migration on,
-      // form_one (coalesced) replaces form_one_raw so the planner sees the
-      // same node multiset per batch as the oracle; resolve()'s coalesce
-      // is idempotent on an already sorted-deduped batch.
+      // deferred values match the oracle's exactly. With migration or
+      // adaptive selection on, form_one (coalesced) replaces form_one_raw
+      // so the planner/selector sees the same node multiset per batch as
+      // the oracle; resolve()'s coalesce is idempotent on an already
+      // sorted-deduped batch.
       while (former.due(t, admission)) {
-        FormedBatch batch = migrate ? former.form_one(t, admission)
-                                    : former.form_one_raw(t, admission);
+        FormedBatch batch = (migrate || adapt)
+                                ? former.form_one(t, admission)
+                                : former.form_one_raw(t, admission);
         for (const std::size_t index : batch.members) {
           Response& r = report.responses[index];
           r.dispatch_cycle = t;
@@ -672,6 +697,9 @@ ServeReport Server::run_pipeline() {
         if (migrate) {
           planner->observe(batch.nodes, t);
           epoch = &planner->current();
+        } else if (adapt) {
+          selector->observe(batch.nodes, t);
+          epoch = &selector->current();
         }
         runner.cut(std::move(batch), lane, 0, epoch);
       }
@@ -698,6 +726,7 @@ ServeReport Server::run_pipeline() {
     for (std::size_t tk = 0; tk < runner.token_count(); ++tk) {
       BatchToken& token = runner.token(tk);
       metrics.on_batch(token.batch);
+      report.memory += token.mem;
       report.batches.push_back(std::move(token.batch));
     }
     for (std::size_t b = round_first_batch; b < report.batches.size(); ++b) {
@@ -772,6 +801,10 @@ ServeReport Server::run_pipeline() {
 
   metrics.set_pipeline(runner.stats());
   if (migrate) metrics.set_migration(planner->stats());
+  if (adapt) metrics.set_adaptive(selector->stats());
+  if (options_.memory != nullptr) {
+    metrics.set_memory(options_.memory->stats(report.memory));
+  }
   if (dynamic) metrics.set_dyn(dyn_stats(options_.dyn, report.mutations));
   report.metrics = metrics.summary();
   return report;
@@ -789,7 +822,8 @@ ForestReport Forest::run_pipeline() {
     for (std::size_t i = 0; i < N; ++i) {
       for (std::uint32_t l = 0; l < plan_.lanes[i]; ++l) {
         lanes[plan_.first_lane[i] + l] =
-            LaneSpec{tenants_[i].mapping, tenants_[i].options.engine};
+            LaneSpec{tenants_[i].mapping, tenants_[i].options.engine,
+                     tenants_[i].options.memory};
       }
     }
     runner_ = std::make_unique<StagedRunner>(std::move(lanes),
@@ -860,14 +894,23 @@ ForestReport Forest::run_pipeline() {
   forest_metrics.on_submitted(all.size());
   DeficitRoundRobin drr(weights, options_.drr_quantum_nodes);
 
-  // ---- Per-tenant skew-adaptive migration: same planner protocol as the
-  // Server twin, one planner per opted-in tenant (pipeline dispatch already
-  // requires every tenant healthy, so no fault guard is repeated). --------
+  // ---- Per-tenant skew-adaptive migration and adaptive selection: same
+  // planner/selector protocol as the Server twin, one per opted-in tenant
+  // (pipeline dispatch already requires every tenant healthy, so no fault
+  // guard is repeated). ---------------------------------------------------
   std::vector<std::unique_ptr<MigrationPlanner>> planners(N);
+  std::vector<std::unique_ptr<AdaptiveSelector>> selectors(N);
   for (std::size_t i = 0; i < N; ++i) {
+    assert(!(tenants_[i].options.migration.enabled() &&
+             tenants_[i].options.adaptive.enabled()) &&
+           "per-tenant migration and adaptive selection are mutually "
+           "exclusive");
     if (tenants_[i].options.migration.enabled()) {
       planners[i] = std::make_unique<MigrationPlanner>(
           *tenants_[i].mapping, tenants_[i].options.migration);
+    } else if (tenants_[i].options.adaptive.enabled()) {
+      selectors[i] = std::make_unique<AdaptiveSelector>(
+          *tenants_[i].mapping, tenants_[i].options.adaptive);
     }
   }
 
@@ -1002,9 +1045,10 @@ ForestReport Forest::run_pipeline() {
           const std::uint64_t cost = former[i].next_batch_cost(admission[i]);
           if (!drr.affords(i, cost)) break;
           drr.spend(i, cost);
-          // Migrating tenants cut coalesced (form_one) so the planner sees
-          // the oracle's exact node multiset per batch.
-          FormedBatch batch = planners[i]
+          // Migrating/adapting tenants cut coalesced (form_one) so the
+          // planner/selector sees the oracle's exact node multiset per
+          // batch.
+          FormedBatch batch = (planners[i] || selectors[i])
                                   ? former[i].form_one(t, admission[i])
                                   : former[i].form_one_raw(t, admission[i]);
           for (const std::size_t local : batch.members) {
@@ -1021,6 +1065,9 @@ ForestReport Forest::run_pipeline() {
           if (planners[i]) {
             planners[i]->observe(batch.nodes, t);
             epoch = &planners[i]->current();
+          } else if (selectors[i]) {
+            selectors[i]->observe(batch.nodes, t);
+            epoch = &selectors[i]->current();
           }
           runner.cut(std::move(batch), lane, static_cast<std::uint32_t>(i),
                      epoch);
@@ -1059,6 +1106,7 @@ ForestReport Forest::run_pipeline() {
       BatchToken& token = runner.token(tk);
       tenant_metrics[token.tenant].on_batch(token.batch);
       forest_metrics.on_batch(token.batch);
+      report.tenants[token.tenant].memory += token.mem;
       report.tenants[token.tenant].batches.push_back(std::move(token.batch));
     }
     for (std::size_t i = 0; i < N; ++i) {
@@ -1158,6 +1206,11 @@ ForestReport Forest::run_pipeline() {
                                        res.stalled_cycles);
     }
     if (planners[i]) tenant_metrics[i].set_migration(planners[i]->stats());
+    if (selectors[i]) tenant_metrics[i].set_adaptive(selectors[i]->stats());
+    if (tenants_[i].options.memory != nullptr) {
+      tenant_metrics[i].set_memory(
+          tenants_[i].options.memory->stats(report.tenants[i].memory));
+    }
     report.tenants[i].metrics = tenant_metrics[i].summary();
   }
 

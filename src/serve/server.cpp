@@ -42,6 +42,9 @@ Json ServeReport::to_json() const {
     muts.set("rejected", Json(mutations.size() - applied));
     j.set("mutations", std::move(muts));
   }
+  // Accounting-only runs keep their exact JSON shape; real-memory runs
+  // add the arena traffic totals.
+  if (memory.nodes != 0) j.set("memory", memory.to_json());
   j.set("metrics", metrics);
 
   Json rows = Json::array();
@@ -165,21 +168,46 @@ ServeReport Server::run() {
   const bool dynamic = options_.dyn.enabled();
   assert(!(dynamic && options_.migration.enabled()) &&
          "dyn serving and skew migration are mutually exclusive");
+  assert(!(dynamic && options_.adaptive.enabled()) &&
+         "dyn serving and adaptive selection are mutually exclusive");
+  assert(!(options_.migration.enabled() && options_.adaptive.enabled()) &&
+         "migration and adaptive selection both own the epoch mapping");
+  assert(!(dynamic && options_.memory != nullptr) &&
+         "the real-memory arenas are sized for a frozen tree");
   std::vector<char> mutation_applied(requests.size(), 0);
 
-  const bool migrate =
-      !dynamic && options_.migration.enabled() &&
-      (options_.engine.faults == nullptr || options_.engine.faults->empty());
+  const bool healthy =
+      options_.engine.faults == nullptr || options_.engine.faults->empty();
+  const bool migrate = !dynamic && options_.migration.enabled() && healthy;
+  // ---- Adaptive mapping selection (DESIGN.md §17). --------------------
+  // Same epoch skeleton as migration: the selector observes every cut
+  // batch on the control plane and the batch resolves against the epoch's
+  // chosen mapping into its replica's session. Faulted configurations
+  // keep the static mapping for the same reasons migration does.
+  const bool adapt = !migrate && !dynamic && options_.adaptive.enabled() &&
+                     healthy;
   std::unique_ptr<MigrationPlanner> planner;
+  std::unique_ptr<AdaptiveSelector> selector;
   std::vector<engine::EngineSession> sessions;
   std::vector<Color> epoch_colors;
-  if (migrate) {
-    planner = std::make_unique<MigrationPlanner>(mapping_, options_.migration);
+  if (migrate || adapt) {
+    if (migrate) {
+      planner =
+          std::make_unique<MigrationPlanner>(mapping_, options_.migration);
+    } else {
+      selector =
+          std::make_unique<AdaptiveSelector>(mapping_, options_.adaptive);
+    }
     sessions.reserve(R);
     for (std::uint32_t r = 0; r < R; ++r) {
       sessions.emplace_back(mapping_, options_.engine);
     }
   }
+  // ---- Real-memory backend (DESIGN.md §17). ---------------------------
+  // Observation only: each cut batch's deduped node payloads are loaded
+  // from the arenas right here on the control plane. Nothing downstream
+  // reads the result, so responses are bit-identical with it on or off.
+  const mem::MemoryBackend* memory = options_.memory;
 
   // Requests of the current round not yet shed, expired, or dispatched in
   // a batch. Dispatched requests leave the control plane — their
@@ -268,13 +296,23 @@ ServeReport Server::run() {
           apply_batch_mutations(batch, requests, options_.dyn, t,
                                 mutation_applied, report.mutations);
         }
-        if (migrate) {
-          planner->observe(batch.nodes, t);
+        if (migrate || adapt) {
+          const TreeMapping* epoch = nullptr;
+          if (migrate) {
+            planner->observe(batch.nodes, t);
+            epoch = &planner->current();
+          } else {
+            selector->observe(batch.nodes, t);
+            epoch = &selector->current();
+          }
           epoch_colors.resize(batch.nodes.size());
-          planner->current().color_of_batch(
+          epoch->color_of_batch(
               batch.nodes,
               std::span<Color>(epoch_colors.data(), epoch_colors.size()));
           sessions[batch.id % R].feed_resolved(epoch_colors, t);
+        }
+        if (memory != nullptr) {
+          report.memory += memory->touch(batch.nodes);
         }
         metrics.on_batch(batch);
         report.batches.push_back(std::move(batch));
@@ -306,7 +344,7 @@ ServeReport Server::run() {
     // round's results.
     const unsigned workers =
         std::min<unsigned>(resolve_threads(options_.workers), R);
-    if (migrate) {
+    if (migrate || adapt) {
       // Sessions were fed at cut time (epoch-resolved colors, canonical
       // order); the parallel phase replays each cumulative prefix. Same
       // extend-never-rewrite argument as below — drain() re-runs the
@@ -416,6 +454,8 @@ ServeReport Server::run() {
   }
 
   if (migrate) metrics.set_migration(planner->stats());
+  if (adapt) metrics.set_adaptive(selector->stats());
+  if (memory != nullptr) metrics.set_memory(memory->stats(report.memory));
   if (dynamic) metrics.set_dyn(dyn_stats(options_.dyn, report.mutations));
   report.metrics = metrics.summary();
   return report;

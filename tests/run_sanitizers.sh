@@ -46,7 +46,18 @@
 # incremental coloring bit-identical to a from-scratch rebuild after
 # every mutation batch, and test_engine_faults drives insert/erase
 # batches through fail-stop fault epochs at 2/8 workers — the `dyn`
-# ctest label selects the dynamic-tree suites plus the E24 smoke gate).
+# ctest label selects the dynamic-tree suites plus the E24 smoke gate),
+# and real-memory arenas + adaptive selection (test_serve_mem touches
+# the immutable MemoryBackend slabs from the pipeline's resolve workers
+# at 1/2/8 workers while the oracle touches on the control plane — a
+# race in the concurrent touch path or the per-token TouchStats fold
+# shows up as a TSan report and as a totals/checksum divergence from
+# the single-threaded recount; test_serve_adaptive runs the
+# AdaptiveSelector's epoch switches at 1/2/8 replica and pipeline
+# workers against the oracle, so a race between the control-plane
+# selector and worker-side epoch-mapping reads surfaces as a report or
+# a response divergence — the `mem` ctest label selects the arena,
+# combinator, selector and serve-layer suites plus the E25 smoke gate).
 #
 #   tests/run_sanitizers.sh             # all three sanitizers, full suite
 #   tests/run_sanitizers.sh tsan        # one sanitizer

@@ -1,0 +1,175 @@
+// AdaptiveMapping combinator (mapping/combinators.hpp): pure delegation
+// to the chosen candidate, batch≡scalar equivalence, composition with the
+// other combinators in both orders (Adaptive over Degraded/Migrated
+// candidates, and Degraded/Migrated over an adaptive base), and the
+// base_shape_changed() audit at parity with the PR 9 combinator suite.
+#include "pmtree/mapping/combinators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "pmtree/dyn/incremental.hpp"
+#include "pmtree/mapping/baselines.hpp"
+#include "pmtree/mapping/color.hpp"
+#include "pmtree/mapping/label_tree.hpp"
+#include "pmtree/util/rng.hpp"
+
+namespace pmtree {
+namespace {
+
+std::vector<Node> sample_nodes(const CompleteBinaryTree& tree,
+                               std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Node> nodes;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t level =
+        static_cast<std::uint32_t>(rng.below(tree.levels()));
+    nodes.push_back(v(rng.below(pow2(level)), level));
+  }
+  return nodes;
+}
+
+TEST(AdaptiveMapping, DelegatesToTheChosenCandidate) {
+  const CompleteBinaryTree tree(9);
+  const ColorMapping color(make_optimal_color_mapping(tree, 7));
+  const LabelTreeMapping label(tree, 7);
+
+  const AdaptiveMapping pick_color({&color, &label}, 0);
+  const AdaptiveMapping pick_label({&color, &label}, 1);
+  EXPECT_EQ(pick_color.num_modules(), 7u);
+  EXPECT_EQ(pick_color.candidate_count(), 2u);
+  EXPECT_EQ(pick_color.chosen(), 0u);
+  EXPECT_EQ(&pick_label.chosen_mapping(),
+            static_cast<const TreeMapping*>(&label));
+  EXPECT_EQ(pick_color.name(), color.name() + "+adaptive");
+  EXPECT_EQ(pick_label.name(), label.name() + "+adaptive");
+
+  for (std::uint64_t id = 0; id < tree.size(); ++id) {
+    const Node n = node_at(id);
+    ASSERT_EQ(pick_color.color_of(n), color.color_of(n)) << "id " << id;
+    ASSERT_EQ(pick_label.color_of(n), label.color_of(n)) << "id " << id;
+  }
+}
+
+TEST(AdaptiveMapping, BatchKernelMatchesScalar) {
+  const CompleteBinaryTree tree(10);
+  const ColorMapping color(make_optimal_color_mapping(tree, 7));
+  const LabelTreeMapping label(tree, 7);
+  const DegradedMapping degraded(color, {2, 5});
+
+  for (const std::size_t chosen : {std::size_t{0}, std::size_t{1},
+                                   std::size_t{2}}) {
+    const AdaptiveMapping adaptive({&color, &label, &degraded}, chosen);
+    const std::vector<Node> nodes = sample_nodes(tree, 257, 0xAD + chosen);
+    std::vector<Color> batch(nodes.size());
+    adaptive.color_of_batch(nodes,
+                            std::span<Color>(batch.data(), batch.size()));
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      ASSERT_EQ(batch[i], adaptive.color_of(nodes[i]))
+          << "chosen " << chosen << " i " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Composition in both orders.
+
+TEST(AdaptiveMapping, ComposesOverDegradedCandidates) {
+  // Adaptive ∘ Degraded: the candidate list holds degraded views, the
+  // selector picks among them — colors match the direct composition.
+  const CompleteBinaryTree tree(9);
+  const ColorMapping color(make_optimal_color_mapping(tree, 7));
+  const DegradedMapping degraded_a(color, {1});
+  const DegradedMapping degraded_b(color, {4, 6});
+
+  const AdaptiveMapping adaptive({&degraded_a, &degraded_b}, 1);
+  const std::vector<Node> nodes = sample_nodes(tree, 200, 0xDE6);
+  for (const Node n : nodes) {
+    ASSERT_EQ(adaptive.color_of(n), degraded_b.color_of(n));
+  }
+  // No dead module ever surfaces through the adaptive layer.
+  for (const Node n : nodes) {
+    const Color c = adaptive.color_of(n);
+    ASSERT_NE(c, 4u);
+    ASSERT_NE(c, 6u);
+  }
+}
+
+TEST(AdaptiveMapping, ComposesUnderDegradedMapping) {
+  // Degraded ∘ Adaptive: module failure after the selection layer — the
+  // degraded wrapper folds the adaptive choice's colors.
+  const CompleteBinaryTree tree(9);
+  const ColorMapping color(make_optimal_color_mapping(tree, 7));
+  const LabelTreeMapping label(tree, 7);
+  const AdaptiveMapping adaptive({&color, &label}, 1);
+  const DegradedMapping degraded(adaptive, {0, 3});
+  const DegradedMapping oracle(label, {0, 3});
+
+  const std::vector<Node> nodes = sample_nodes(tree, 200, 0xDE7);
+  std::vector<Color> batch(nodes.size());
+  degraded.color_of_batch(nodes,
+                          std::span<Color>(batch.data(), batch.size()));
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    ASSERT_EQ(batch[i], oracle.color_of(nodes[i])) << i;
+    ASSERT_EQ(degraded.color_of(nodes[i]), oracle.color_of(nodes[i])) << i;
+  }
+}
+
+TEST(AdaptiveMapping, ComposesWithMigratedInBothOrders) {
+  const CompleteBinaryTree tree(9);
+  const ColorMapping color(make_optimal_color_mapping(tree, 7));
+  const MigratedMapping migrated(color, 2, std::vector<Color>{3, 0, 1, 0});
+
+  // Adaptive ∘ Migrated: a minted epoch mapping as a candidate.
+  const AdaptiveMapping over({&color, &migrated}, 1);
+  // Migrated ∘ Adaptive: rotation applied on top of the selection.
+  const AdaptiveMapping base({&color, &migrated}, 0);
+  const MigratedMapping under(base, 2, std::vector<Color>{3, 0, 1, 0});
+
+  const std::vector<Node> nodes = sample_nodes(tree, 300, 0x316);
+  for (const Node n : nodes) {
+    ASSERT_EQ(over.color_of(n), migrated.color_of(n));
+    ASSERT_EQ(under.color_of(n), migrated.color_of(n));
+  }
+  std::vector<Color> a(nodes.size()), b(nodes.size());
+  over.color_of_batch(nodes, std::span<Color>(a.data(), a.size()));
+  under.color_of_batch(nodes, std::span<Color>(b.data(), b.size()));
+  EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// base_shape_changed(): parity with the PR 9 combinator audit.
+
+TEST(AdaptiveMapping, DynamicBaseGrowthIsDetectedThroughAnyCandidate) {
+  const CompleteBinaryTree envelope(8);
+  dyn::IncrementalColorer colorer =
+      dyn::IncrementalColorer::color(envelope, 5, 2);
+  colorer.touch(Node{2, 3});  // quiesce at 3 levels
+
+  const ColorMapping frozen(colorer.tree(), 5, 2);
+  const AdaptiveMapping adaptive({&frozen, &colorer}, 0);
+  EXPECT_FALSE(adaptive.base_shape_changed());
+  EXPECT_EQ(adaptive.color_of(Node{2, 3}), frozen.color_of(Node{2, 3}));
+
+  // A NON-chosen candidate growing still trips the audit: the selector
+  // may re-choose it at the next epoch, so all candidates must be valid.
+  colorer.touch(Node{6, 11});
+  EXPECT_TRUE(adaptive.base_shape_changed());
+
+  // Shrinking back to the snapshot shape re-quiesces.
+  colorer.reset();
+  colorer.touch(Node{2, 3});
+  EXPECT_FALSE(adaptive.base_shape_changed());
+
+  // All-static candidate lists can never trip the audit.
+  const CompleteBinaryTree tree(7);
+  const ColorMapping a(tree, 5, 2);
+  const LabelTreeMapping b(tree, 5);
+  const AdaptiveMapping stable({&a, &b}, 1);
+  EXPECT_FALSE(stable.base_shape_changed());
+}
+
+}  // namespace
+}  // namespace pmtree
